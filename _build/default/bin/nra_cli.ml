@@ -1,0 +1,189 @@
+(* Command-line front end: run SQL with any evaluation strategy against
+   a generated TPC-H catalog, inspect plans, or start a small REPL.
+
+     dune exec bin/nra_cli.exe -- query "select ..." --strategy nra-optimized
+     dune exec bin/nra_cli.exe -- explain "select ..."
+     dune exec bin/nra_cli.exe -- repl --scale 0.01
+     dune exec bin/nra_cli.exe -- tables *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let scale =
+  let doc = "TPC-H scale factor (1.0 = official SF 1 row counts)." in
+  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed =
+  let doc = "Data generator seed." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"N" ~doc)
+
+let null_rate =
+  let doc =
+    "Probability of NULL in the nullable money columns (exercises \
+     three-valued semantics)."
+  in
+  Arg.(value & opt float 0.0 & info [ "null-rate" ] ~docv:"P" ~doc)
+
+let not_null =
+  let doc =
+    "Declare NOT NULL constraints on l_extendedprice / ps_supplycost \
+     (lets the classical strategy antijoin ALL and NOT IN)."
+  in
+  Arg.(value & flag & info [ "not-null" ] ~doc)
+
+let strategy =
+  let parse s =
+    match Nra.strategy_of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S (expected one of %s)" s
+               (String.concat ", " (List.map fst Nra.strategies))))
+  in
+  let print ppf s = Format.pp_print_string ppf (Nra.strategy_to_string s) in
+  let strategy_conv = Arg.conv (parse, print) in
+  let doc =
+    "Evaluation strategy: naive (nested iteration), classical \
+     (semijoin/antijoin unnesting), nra-original, nra-optimized or \
+     nra-full (the paper's approach)."
+  in
+  Arg.(
+    value & opt strategy_conv Nra.Nra_optimized & info [ "strategy"; "s" ] ~doc)
+
+let make_catalog scale seed null_rate not_null =
+  let cfg =
+    {
+      Nra.Tpch.Gen.scale;
+      seed;
+      null_rate;
+      declare_not_null = not_null;
+    }
+  in
+  let cat = Nra.Tpch.Gen.generate cfg in
+  Nra.Tpch.Gen.add_benchmark_indexes cat;
+  cat
+
+let sql_arg =
+  let doc = "The SQL query (quote it)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let csv =
+  let doc = "Print the result as CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let timing =
+  let doc = "Print measured CPU and simulated 2005-disk time." in
+  Arg.(value & flag & info [ "time" ] ~doc)
+
+(* ---------- commands ---------- *)
+
+let run_query strategy scale seed null_rate not_null csv timing sql =
+  let cat = make_catalog scale seed null_rate not_null in
+  Nra_storage.Iosim.reset ();
+  let t0 = Unix.gettimeofday () in
+  match Nra.query ~strategy cat sql with
+  | Ok rel ->
+      let dt = Unix.gettimeofday () -. t0 in
+      if csv then print_string (Nra.Relation.to_csv rel)
+      else Format.printf "%a@." Nra.Relation.pp rel;
+      if timing then begin
+        let c = Nra_storage.Iosim.counters () in
+        Printf.printf
+          "cpu: %.3fs   simulated-2005-disk: %.2fs   strategy: %s\n" dt
+          (Nra_storage.Iosim.simulated_seconds ())
+          (Nra.strategy_to_string strategy);
+        Printf.printf
+          "io: %d seq pages, %d random pages, %d tuples fetched, cache \
+           %d hit / %d miss\n"
+          c.Nra_storage.Iosim.seq_pages c.Nra_storage.Iosim.rand_pages
+          c.Nra_storage.Iosim.fetched_rows
+          (Nra_storage.Iosim.cache_hits ())
+          (Nra_storage.Iosim.cache_misses ())
+      end;
+      `Ok ()
+  | Error m -> `Error (false, m)
+
+let query_cmd =
+  let info = Cmd.info "query" ~doc:"Run a SQL query over generated TPC-H data." in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_query $ strategy $ scale $ seed $ null_rate $ not_null
+       $ csv $ timing $ sql_arg))
+
+let run_explain scale seed null_rate not_null sql =
+  let cat = make_catalog scale seed null_rate not_null in
+  match Nra.explain cat sql with
+  | Ok text ->
+      print_endline text;
+      `Ok ()
+  | Error m -> `Error (false, m)
+
+let explain_cmd =
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Show the paper's tree expression for a query, its nesting \
+         depth/linearity, and the strategy the classical baseline would \
+         pick per subquery."
+  in
+  Cmd.v info
+    Term.(
+      ret (const run_explain $ scale $ seed $ null_rate $ not_null $ sql_arg))
+
+let run_tables scale seed null_rate not_null =
+  let cat = make_catalog scale seed null_rate not_null in
+  Format.printf "%a@." Nra.Catalog.pp cat
+
+let tables_cmd =
+  let info = Cmd.info "tables" ~doc:"List the generated tables." in
+  Cmd.v info
+    Term.(const run_tables $ scale $ seed $ null_rate $ not_null)
+
+let run_repl strategy scale seed null_rate not_null =
+  let cat = make_catalog scale seed null_rate not_null in
+  Printf.printf
+    "nra repl — strategy %s; end statements with a blank line; \\q quits.\n"
+    (Nra.strategy_to_string strategy);
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buf = 0 then print_string "nra> "
+    else print_string "...> ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | "\\q" -> ()
+    | "" when Buffer.length buf > 0 ->
+        let sql = Buffer.contents buf in
+        Buffer.clear buf;
+        (match Nra.exec ~strategy cat sql with
+        | Ok (Nra.Rows rel) -> Format.printf "%a@." Nra.Relation.pp rel
+        | Ok (Nra.Count n) -> Printf.printf "%d row(s) affected\n" n
+        | Ok (Nra.Done msg) -> print_endline msg
+        | Error m -> Printf.printf "error: %s\n" m);
+        loop ()
+    | "" -> loop ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        loop ()
+  in
+  loop ()
+
+let repl_cmd =
+  let info = Cmd.info "repl" ~doc:"Interactive SQL loop." in
+  Cmd.v info
+    Term.(const run_repl $ strategy $ scale $ seed $ null_rate $ not_null)
+
+let main =
+  let info =
+    Cmd.info "nra-cli" ~version:"1.0.0"
+      ~doc:
+        "Nested relational processing of SQL subqueries (Cao & Badia, \
+         SIGMOD 2005)."
+  in
+  Cmd.group info [ query_cmd; explain_cmd; tables_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,92 @@
+(* TPC-H scenarios: the decision-support workloads the paper's
+   introduction motivates — orders whose price beats every line item,
+   parts cheaper than some qualifying supplier, suppliers that never
+   missed a commit date — run over generated data with per-strategy
+   timing.
+
+     dune exec examples/tpch_analytics.exe *)
+
+open Nra
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run cat name sql =
+  Printf.printf "\n### %s\n%s\n" name sql;
+  List.iter
+    (fun (sname, strategy) ->
+      Nra_storage.Iosim.reset ();
+      match time (fun () -> Nra.query ~strategy cat sql) with
+      | Ok rel, dt ->
+          Printf.printf "  %-14s %4d rows  cpu %6.3fs  simulated-2005 %7.2fs\n"
+            sname
+            (Relation.cardinality rel)
+            dt
+            (Nra_storage.Iosim.simulated_seconds ())
+      | Error m, _ -> Printf.printf "  %-14s error: %s\n" sname m)
+    Nra.strategies
+
+let () =
+  let cfg = { Tpch.Gen.default with Tpch.Gen.scale = 0.01 } in
+  let cat = Tpch.Gen.generate cfg in
+  Tpch.Gen.add_benchmark_indexes cat;
+  Printf.printf "TPC-H at scale %.2f:" cfg.Tpch.Gen.scale;
+  List.iter
+    (fun t -> Printf.printf " %s=%d" (Table.name t) (Table.cardinality t))
+    (Catalog.tables cat);
+  print_newline ();
+
+  (* the paper's Query 1 *)
+  let lo, hi = Tpch.Queries.q1_window ~outer_fraction:0.05 in
+  run cat "orders whose total price beats every delayed line item"
+    (Tpch.Queries.q1 ~date_lo:lo ~date_hi:hi);
+
+  (* the paper's Query 2b (negative, linear) *)
+  run cat "parts cheaper than ALL their unsold qualifying supplies"
+    (Tpch.Queries.q2 ~quant:Tpch.Queries.All ~size_lo:1 ~size_hi:15
+       ~availqty_max:2000 ~quantity:25);
+
+  (* the paper's Query 3a (tree correlation) *)
+  run cat "the tree-correlated variant (inner block sees both ancestors)"
+    (Tpch.Queries.q3 ~quant:Tpch.Queries.All ~exists:true
+       ~variant:Tpch.Queries.A ~size_lo:1 ~size_hi:15 ~availqty_max:2000
+       ~quantity:25);
+
+  (* suppliers that never missed a commit date: NOT EXISTS over a join *)
+  run cat "suppliers that never shipped after the commit date"
+    {|select s_name from supplier
+      where not exists
+        (select * from lineitem
+         where l_suppkey = s_suppkey and l_receiptdate > l_commitdate)|};
+
+  (* a flat analytic query exercising grouping on top of a subquery *)
+  run cat "order count per priority among high-value orders"
+    {|select o_orderpriority, count(*) as n
+      from orders
+      where o_totalprice > (select avg(o_totalprice) from orders)
+      group by o_orderpriority
+      order by o_orderpriority|};
+
+  (* customers in debt whose every order is urgent: mixed linking *)
+  run cat "indebted customers with only urgent orders"
+    {|select c_name from customer
+      where c_acctbal < 0
+        and '1-URGENT' = all (select o_orderpriority from orders
+                              where o_custkey = c_custkey)
+        and exists (select * from orders where o_custkey = c_custkey)|};
+
+  (* the same analysis phrased with a CTE and a set operation *)
+  run cat "regions that sell either very large or very small parts"
+    {|with extreme as
+        (select p_partkey from part where p_size >= 49
+         union
+         select p_partkey from part where p_size <= 2)
+      select distinct r_name
+      from region, nation, supplier
+      where n_regionkey = r_regionkey
+        and s_nationkey = n_nationkey
+        and exists (select * from partsupp
+                    where ps_suppkey = s_suppkey
+                      and ps_partkey in (select p_partkey from extreme))|}

@@ -1,0 +1,1 @@
+lib/algebra/aggregate.ml: Array Expr Hashtbl List Nra_relational Option Relation Row Schema Ttype Value

@@ -1,0 +1,1 @@
+lib/algebra/aggregate.mli: Expr Nra_relational Relation Row Schema Ttype Value

@@ -1,0 +1,1 @@
+lib/algebra/basic.ml: Array Expr List Nra_relational Relation Row Schema

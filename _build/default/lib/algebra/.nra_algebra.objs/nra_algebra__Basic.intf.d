@@ -1,0 +1,1 @@
+lib/algebra/basic.mli: Expr Nra_relational Relation Schema

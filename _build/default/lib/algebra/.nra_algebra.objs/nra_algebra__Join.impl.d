@@ -1,0 +1,1 @@
+lib/algebra/join.ml: Array Expr Hashtbl List Nra_relational Relation Row Schema Value

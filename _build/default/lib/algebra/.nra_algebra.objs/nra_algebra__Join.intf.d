@@ -1,0 +1,1 @@
+lib/algebra/join.mli: Expr Nra_relational Relation

@@ -1,0 +1,1 @@
+lib/algebra/setops.ml: Array Fun Hashtbl List Nra_relational Relation Row Schema

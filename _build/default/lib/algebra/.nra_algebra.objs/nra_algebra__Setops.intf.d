@@ -1,0 +1,1 @@
+lib/algebra/setops.mli: Nra_relational Relation

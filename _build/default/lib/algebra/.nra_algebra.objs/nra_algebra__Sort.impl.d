@@ -1,0 +1,1 @@
+lib/algebra/sort.ml: Array Nra_relational Relation Value

@@ -1,0 +1,1 @@
+lib/algebra/sort.mli: Nra_relational Relation

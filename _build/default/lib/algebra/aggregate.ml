@@ -1,0 +1,116 @@
+open Nra_relational
+
+type func =
+  | Count_star
+  | Count of Expr.scalar
+  | Sum of Expr.scalar
+  | Avg of Expr.scalar
+  | Min of Expr.scalar
+  | Max of Expr.scalar
+
+type spec = { func : func; as_name : string }
+
+let scalar_type schema s =
+  match s with
+  | Expr.Col i -> Some (Schema.col schema i).Schema.ty
+  | Expr.Const (Value.Int _) -> Some Ttype.Int
+  | Expr.Const (Value.Float _) -> Some Ttype.Float
+  | Expr.Const (Value.String _) -> Some Ttype.String
+  | Expr.Const (Value.Date _) -> Some Ttype.Date
+  | Expr.Const (Value.Bool _) -> Some Ttype.Bool
+  | Expr.Const Value.Null -> None
+  | Expr.Add _ | Expr.Sub _ | Expr.Mul _ | Expr.Neg _ -> Some Ttype.Float
+  | Expr.Div _ -> Some Ttype.Float
+
+let output_type schema = function
+  | Count_star | Count _ -> Ttype.Int
+  | Avg _ -> Ttype.Float
+  | Sum e | Min e | Max e ->
+      Option.value ~default:Ttype.Float (scalar_type schema e)
+
+let eval_one func rows =
+  let non_null e =
+    List.filter_map
+      (fun row ->
+        let v = Expr.eval_scalar row e in
+        if Value.is_null v then None else Some v)
+      rows
+  in
+  match func with
+  | Count_star -> Value.Int (List.length rows)
+  | Count e -> Value.Int (List.length (non_null e))
+  | Sum e -> (
+      match non_null e with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left Value.add v vs)
+  | Avg e -> (
+      match non_null e with
+      | [] -> Value.Null
+      | vs ->
+          let sum = List.fold_left Value.add (Value.Int 0) vs in
+          Value.div
+            (Value.mul sum (Value.Float 1.0))
+            (Value.Int (List.length vs)))
+  | Min e -> (
+      match non_null e with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left (fun a b -> if Value.compare b a < 0 then b else a)
+            v vs)
+  | Max e -> (
+      match non_null e with
+      | [] -> Value.Null
+      | v :: vs ->
+          List.fold_left (fun a b -> if Value.compare b a > 0 then b else a)
+            v vs)
+
+let out_schema input_schema ~keys specs =
+  let key_cols = List.map (Schema.col input_schema) keys in
+  let agg_cols =
+    List.map
+      (fun { func; as_name } ->
+        Schema.column as_name (output_type input_schema func))
+      specs
+  in
+  Schema.of_columns (key_cols @ agg_cols)
+
+let group_by ~keys specs rel =
+  let kpos = Array.of_list keys in
+  (* order-of-first-occurrence grouping via hash on the key projection *)
+  let groups : (int, Row.t * Row.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let key = Row.project_arr row kpos in
+      let h = Row.hash key in
+      let existing =
+        Hashtbl.find_all groups h
+        |> List.find_opt (fun (k, _) -> Row.equal k key)
+      in
+      match existing with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+          let cell = ref [ row ] in
+          Hashtbl.add groups h (key, cell);
+          order := (key, cell) :: !order)
+    (Relation.rows rel);
+  let schema = out_schema (Relation.schema rel) ~keys specs in
+  let out =
+    List.rev_map
+      (fun (key, cell) ->
+        let rows = List.rev !cell in
+        let aggs =
+          List.map (fun { func; _ } -> eval_one func rows) specs
+        in
+        Array.append key (Array.of_list aggs))
+      !order
+  in
+  Relation.of_rows schema out
+
+let global specs rel =
+  let rows = Array.to_list (Relation.rows rel) in
+  let schema = out_schema (Relation.schema rel) ~keys:[] specs in
+  let row =
+    Array.of_list (List.map (fun { func; _ } -> eval_one func rows) specs)
+  in
+  Relation.make schema [| row |]

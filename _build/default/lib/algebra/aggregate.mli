@@ -1,0 +1,34 @@
+(** Grouping and aggregation (γ).
+
+    Grouping uses the total value order, so NULL group keys collapse into
+    one group (SQL [GROUP BY] semantics).  Aggregates ignore NULL inputs;
+    [Count_star] counts rows.  Over an empty input with no grouping keys
+    SQL returns a single row (COUNT = 0, other aggregates NULL) —
+    [global] implements that case. *)
+
+open Nra_relational
+
+type func =
+  | Count_star
+  | Count of Expr.scalar
+  | Sum of Expr.scalar
+  | Avg of Expr.scalar
+  | Min of Expr.scalar
+  | Max of Expr.scalar
+
+type spec = { func : func; as_name : string }
+
+val output_type : Schema.t -> func -> Ttype.t
+(** Result type of an aggregate over the given input schema. *)
+
+val group_by : keys:int list -> spec list -> Relation.t -> Relation.t
+(** Output schema: the key columns, then one column per aggregate (table
+    qualifier [""], name [as_name]).  Groups appear in order of first
+    occurrence. *)
+
+val global : spec list -> Relation.t -> Relation.t
+(** Aggregation without keys: always exactly one output row. *)
+
+val eval_one : func -> Row.t list -> Value.t
+(** Aggregate a list of rows directly — used by the scalar-subquery
+    evaluators. *)

@@ -1,0 +1,29 @@
+open Nra_relational
+
+let select pred rel = Relation.filter (Expr.holds pred) rel
+
+let project_cols idxs rel = Relation.project rel idxs
+
+let project_exprs items rel =
+  let schema = Schema.of_columns (List.map snd items) in
+  let exprs = Array.of_list (List.map fst items) in
+  Relation.map_rows schema
+    (fun row -> Array.map (Expr.eval_scalar row) exprs)
+    rel
+
+let product left right =
+  let schema = Schema.append (Relation.schema left) (Relation.schema right) in
+  let right_rows = Relation.rows right in
+  let out = ref [] in
+  Array.iter
+    (fun l ->
+      Array.iter (fun r -> out := Row.concat l r :: !out) right_rows)
+    (Relation.rows left);
+  Relation.of_rows schema (List.rev !out)
+
+let distinct rel = Relation.dedup rel
+
+let limit n rel =
+  let rows = Relation.rows rel in
+  let n = min n (Array.length rows) in
+  Relation.make (Relation.schema rel) (Array.sub rows 0 n)

@@ -1,0 +1,20 @@
+(** Unary physical operators: selection, projection, product, limit. *)
+
+open Nra_relational
+
+val select : Expr.pred -> Relation.t -> Relation.t
+(** σ — keeps rows whose predicate is [True] (3VL). *)
+
+val project_cols : int list -> Relation.t -> Relation.t
+(** π over column positions (duplicates preserved — SQL bag π). *)
+
+val project_exprs : (Expr.scalar * Schema.column) list -> Relation.t ->
+  Relation.t
+(** Generalized π: each output column is a computed expression. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cartesian product; output schema is left ++ right. *)
+
+val distinct : Relation.t -> Relation.t
+
+val limit : int -> Relation.t -> Relation.t

@@ -1,0 +1,72 @@
+open Nra_relational
+
+type kind = Inner | Left_outer | Semi | Anti
+
+let stats_probes = ref 0
+
+let out_schema kind left right =
+  match kind with
+  | Inner | Left_outer ->
+      Schema.append (Relation.schema left) (Relation.schema right)
+  | Semi | Anti -> Relation.schema left
+
+(* Emit output rows for one left row given its matching right rows. *)
+let emit kind ~right_arity lrow matches acc =
+  match kind with
+  | Inner -> List.fold_left (fun a r -> Row.concat lrow r :: a) acc matches
+  | Left_outer -> (
+      match matches with
+      | [] -> Row.concat lrow (Row.nulls right_arity) :: acc
+      | ms -> List.fold_left (fun a r -> Row.concat lrow r :: a) acc ms)
+  | Semi -> if matches <> [] then lrow :: acc else acc
+  | Anti -> if matches = [] then lrow :: acc else acc
+
+let nested_loop kind ~on left right =
+  let right_rows = Relation.rows right in
+  let right_arity = Schema.arity (Relation.schema right) in
+  let acc = ref [] in
+  Array.iter
+    (fun lrow ->
+      let matches =
+        Array.to_list right_rows
+        |> List.filter (fun rrow -> Expr.holds on (Row.concat lrow rrow))
+      in
+      acc := emit kind ~right_arity lrow matches !acc)
+    (Relation.rows left);
+  Relation.of_rows (out_schema kind left right) (List.rev !acc)
+
+let join kind ~on left right =
+  let left_arity = Schema.arity (Relation.schema left) in
+  let equi, residual = Expr.split_equi ~left_arity on in
+  if equi = [] then nested_loop kind ~on left right
+  else begin
+    let lpos = Array.of_list (List.map fst equi) in
+    let rpos = Array.of_list (List.map snd equi) in
+    let right_rows = Relation.rows right in
+    let right_arity = Schema.arity (Relation.schema right) in
+    let tbl = Hashtbl.create (max 16 (Array.length right_rows)) in
+    Array.iter
+      (fun rrow ->
+        if not (Row.has_null_on rpos rrow) then
+          Hashtbl.add tbl (Row.hash_on rpos rrow) rrow)
+      right_rows;
+    let residual_pred = Expr.conj residual in
+    let acc = ref [] in
+    Array.iter
+      (fun lrow ->
+        incr stats_probes;
+        let matches =
+          if Row.has_null_on lpos lrow then []
+          else
+            Hashtbl.find_all tbl (Row.hash_on lpos lrow)
+            |> List.rev (* restore build order *)
+            |> List.filter (fun rrow ->
+                   Array.for_all2
+                     (fun li ri -> Value.equal lrow.(li) rrow.(ri))
+                     lpos rpos
+                   && Expr.holds residual_pred (Row.concat lrow rrow))
+        in
+        acc := emit kind ~right_arity lrow matches !acc)
+      (Relation.rows left);
+    Relation.of_rows (out_schema kind left right) (List.rev !acc)
+  end

@@ -1,0 +1,134 @@
+open Nra_relational
+
+let check_arity a b =
+  if Schema.arity (Relation.schema a) <> Schema.arity (Relation.schema b)
+  then invalid_arg "set operation: arity mismatch"
+
+(* Multiset of rows: row -> multiplicity, with collision-safe lookup. *)
+module Bag = struct
+  type t = (int, Row.t * int ref) Hashtbl.t
+
+  let create n : t = Hashtbl.create (max 16 n)
+
+  let find_ref (t : t) row =
+    Hashtbl.find_all t (Row.hash row)
+    |> List.find_map (fun (r, c) -> if Row.equal r row then Some c else None)
+
+  let add (t : t) row =
+    match find_ref t row with
+    | Some c -> incr c
+    | None -> Hashtbl.add t (Row.hash row) (row, ref 1)
+
+  let count (t : t) row =
+    match find_ref t row with Some c -> !c | None -> 0
+
+  let of_relation rel =
+    let t = create (Relation.cardinality rel) in
+    Array.iter (add t) (Relation.rows rel);
+    t
+end
+
+let union a b =
+  check_arity a b;
+  Relation.dedup (Relation.append a (Relation.make (Relation.schema a) (Relation.rows b)))
+
+let union_all a b =
+  check_arity a b;
+  Relation.append a (Relation.make (Relation.schema a) (Relation.rows b))
+
+let intersect a b =
+  check_arity a b;
+  let bag_b = Bag.of_relation b in
+  Relation.dedup (Relation.filter (fun r -> Bag.count bag_b r > 0) a)
+
+let intersect_all a b =
+  check_arity a b;
+  let bag_b = Bag.of_relation b in
+  let taken = Bag.create 16 in
+  Relation.filter
+    (fun r ->
+      let available = Bag.count bag_b r - Bag.count taken r in
+      if available > 0 then begin
+        Bag.add taken r;
+        true
+      end
+      else false)
+    a
+
+let except a b =
+  check_arity a b;
+  let bag_b = Bag.of_relation b in
+  Relation.dedup (Relation.filter (fun r -> Bag.count bag_b r = 0) a)
+
+let divide r ~by ~on =
+  if on = [] then invalid_arg "divide: empty column mapping";
+  let yr = Array.of_list (List.map fst on) in
+  let ys = Array.of_list (List.map snd on) in
+  let r_schema = Relation.schema r in
+  let x_positions =
+    List.init (Schema.arity r_schema) Fun.id
+    |> List.filter (fun i -> not (Array.mem i yr))
+  in
+  let x_arr = Array.of_list x_positions in
+  let divisor =
+    (* the distinct y-tuples that every group must cover *)
+    List.sort_uniq Row.compare
+      (List.map
+         (fun row -> Row.project_arr row ys)
+         (Array.to_list (Relation.rows by)))
+  in
+  let needed = List.length divisor in
+  (* group r by its x part, collecting the distinct covered y-tuples *)
+  let groups : (int, Row.t * Row.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let x = Row.project_arr row x_arr in
+      let y = Row.project_arr row yr in
+      if List.exists (Row.equal y) divisor then begin
+        let h = Row.hash x in
+        match
+          Hashtbl.find_all groups h
+          |> List.find_opt (fun (k, _) -> Row.equal k x)
+        with
+        | Some (_, cell) ->
+            if not (List.exists (Row.equal y) !cell) then cell := y :: !cell
+        | None ->
+            let cell = ref [ y ] in
+            Hashtbl.add groups h (x, cell);
+            order := (x, cell) :: !order
+      end
+      else if needed = 0 then begin
+        (* ∀ over the empty divisor: every x qualifies *)
+        let h = Row.hash x in
+        if
+          Hashtbl.find_all groups h
+          |> List.find_opt (fun (k, _) -> Row.equal k x)
+          = None
+        then begin
+          let cell = ref [] in
+          Hashtbl.add groups h (x, cell);
+          order := (x, cell) :: !order
+        end
+      end)
+    (Relation.rows r);
+  let out =
+    List.rev !order
+    |> List.filter_map (fun (x, cell) ->
+           if List.length !cell >= needed then Some x else None)
+  in
+  Relation.of_rows (Schema.project r_schema x_positions) out
+
+let except_all a b =
+  check_arity a b;
+  let bag_b = Bag.of_relation b in
+  let removed = Bag.create 16 in
+  Relation.filter
+    (fun r ->
+      let to_remove = Bag.count bag_b r - Bag.count removed r in
+      if to_remove > 0 then begin
+        Bag.add removed r;
+        false
+      end
+      else true)
+    a

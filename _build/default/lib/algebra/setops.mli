@@ -1,0 +1,25 @@
+(** SQL set operations.
+
+    [UNION]/[INTERSECT]/[EXCEPT] have set semantics (duplicates removed);
+    the [_all] variants keep bag semantics with the standard min/max
+    multiplicity rules.  Schemas must have equal arity; the left schema
+    names the result. *)
+
+open Nra_relational
+
+val union : Relation.t -> Relation.t -> Relation.t
+val union_all : Relation.t -> Relation.t -> Relation.t
+val intersect : Relation.t -> Relation.t -> Relation.t
+val intersect_all : Relation.t -> Relation.t -> Relation.t
+val except : Relation.t -> Relation.t -> Relation.t
+val except_all : Relation.t -> Relation.t -> Relation.t
+
+val divide : Relation.t -> by:Relation.t -> on:(int * int) list ->
+  Relation.t
+(** Relational division — the classic universal-quantification operator
+    (the algebraic cousin of the paper's [θ ALL] linking predicates).
+    [divide r ~by:s ~on:[(yr, ys); …]] returns the distinct tuples of
+    [r] projected on the complement of the [yr] positions, keeping a
+    group iff for {e every} tuple of [s] there is a tuple in the group
+    whose [yr] values equal the [s] tuple's [ys] values (value equality,
+    NULL = NULL).  Empty [s] keeps every group (∀ over ∅). *)

@@ -1,0 +1,10 @@
+(** ORDER BY: stable multi-key sort with per-key direction.  NULLs sort
+    first ascending / last descending (the total value order of
+    {!Nra_relational.Value}). *)
+
+open Nra_relational
+
+type direction = Asc | Desc
+type key = { pos : int; dir : direction }
+
+val sort : key list -> Relation.t -> Relation.t

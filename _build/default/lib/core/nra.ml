@@ -1,0 +1,460 @@
+module Value = Nra_relational.Value
+module Three_valued = Nra_relational.Three_valued
+module Ttype = Nra_relational.Ttype
+module Schema = Nra_relational.Schema
+module Row = Nra_relational.Row
+module Relation = Nra_relational.Relation
+module Expr = Nra_relational.Expr
+
+module Table = Nra_storage.Table
+module Catalog = Nra_storage.Catalog
+module Hash_index = Nra_storage.Hash_index
+module Sorted_index = Nra_storage.Sorted_index
+
+module Algebra = struct
+  module Basic = Nra_algebra.Basic
+  module Join = Nra_algebra.Join
+  module Setops = Nra_algebra.Setops
+  module Aggregate = Nra_algebra.Aggregate
+  module Sort = Nra_algebra.Sort
+end
+
+module Nested = struct
+  module Nested_relation = Nra_nested.Nested_relation
+  module Grouped = Nra_nested.Grouped
+  module Link_pred = Nra_nested.Link_pred
+  module Linking = Nra_nested.Linking
+end
+
+module Sql = struct
+  module Ast = Nra_sql.Ast
+  module Lexer = Nra_sql.Lexer
+  module Parser = Nra_sql.Parser
+end
+
+module Planner = struct
+  module Resolved = Nra_planner.Resolved
+  module Analyze = Nra_planner.Analyze
+end
+
+module Exec = struct
+  module Frame = Nra_exec.Frame
+  module Post = Nra_exec.Post
+  module Naive = Nra_exec.Naive
+  module Classical = Nra_exec.Classical
+  module Magic = Nra_exec.Magic
+  module Linkeval = Nra_exec.Linkeval
+  module Nra_exec = Nra_exec.Nra
+end
+
+module Tpch = struct
+  module Prng = Nra_tpch.Prng
+  module Gen = Nra_tpch.Gen
+  module Queries = Nra_tpch.Queries
+end
+
+type strategy =
+  | Naive
+  | Classical
+  | Magic
+  | Nra_original
+  | Nra_optimized
+  | Nra_full
+  | Hybrid
+
+let strategies =
+  [
+    ("naive", Naive);
+    ("classical", Classical);
+    ("magic", Magic);
+    ("nra-original", Nra_original);
+    ("nra-optimized", Nra_optimized);
+    ("nra-full", Nra_full);
+    ("hybrid", Hybrid);
+  ]
+
+let strategy_of_string s = List.assoc_opt (String.lowercase_ascii s) strategies
+
+let strategy_to_string s =
+  fst (List.find (fun (_, v) -> v = s) strategies)
+
+(* the Section 6 dispatch: classical unnesting whenever it fully
+   applies, the nested relational approach otherwise *)
+let classical_fully_applies cat t =
+  List.for_all
+    (fun (_, s) -> s <> Nra_exec.Classical.Iterate)
+    (Nra_exec.Classical.plan cat t)
+
+let run_analyzed strategy cat t =
+  match strategy with
+  | Naive -> Nra_exec.Naive.run cat t
+  | Classical -> Nra_exec.Classical.run cat t
+  | Magic -> Nra_exec.Magic.run cat t
+  | Nra_original -> Nra_exec.Nra.run ~options:Nra_exec.Nra.original cat t
+  | Nra_optimized -> Nra_exec.Nra.run ~options:Nra_exec.Nra.optimized cat t
+  | Nra_full -> Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
+  | Hybrid ->
+      if classical_fully_applies cat t then Nra_exec.Classical.run cat t
+      else Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
+
+let ( let* ) = Result.bind
+module Ast = Nra_sql.Ast
+
+let run_select strategy cat q =
+  match Nra_planner.Analyze.analyze cat q with
+  | exception Nra_planner.Analyze.Error m -> Error m
+  | t -> (
+      match run_analyzed strategy cat t with
+      | rel -> Ok rel
+      | exception Nra_exec.Frame.Unsupported m ->
+          Error ("unsupported by this strategy: " ^ m)
+      | exception Nra_exec.Post.Unsupported m -> Error m
+      | exception Failure m -> Error m)
+
+(* An ORDER BY / LIMIT written after the last component of a set
+   operation applies to the combined result. *)
+let strip_rightmost stmt =
+  let rec go = function
+    | Ast.Select q ->
+        (Ast.Select { q with Ast.order_by = []; limit = None },
+         q.Ast.order_by, q.Ast.limit)
+    | Ast.Setop (op, l, r) ->
+        let r', ob, lim = go r in
+        (Ast.Setop (op, l, r'), ob, lim)
+  in
+  go stmt
+
+let setop_sort_keys schema order_by =
+  let resolve (e, dir) =
+    let dir =
+      match dir with
+      | `Asc -> Nra_algebra.Sort.Asc
+      | `Desc -> Nra_algebra.Sort.Desc
+    in
+    match e with
+    | Ast.Col (None, name) -> (
+        match Nra_relational.Schema.find_opt schema name with
+        | Some pos -> Ok { Nra_algebra.Sort.pos; dir }
+        | None -> Error (Printf.sprintf "unknown output column %s" name))
+    | Ast.Lit (Value.Int k)
+      when k >= 1 && k <= Nra_relational.Schema.arity schema ->
+        Ok { Nra_algebra.Sort.pos = k - 1; dir }
+    | _ ->
+        Error
+          "ORDER BY on a set operation must use output column names or \
+           1-based positions"
+  in
+  List.fold_left
+    (fun acc key ->
+      let* keys = acc in
+      let* k = resolve key in
+      Ok (keys @ [ k ]))
+    (Ok []) order_by
+
+let rec combine strategy cat = function
+  | Ast.Select q -> run_select strategy cat q
+  | Ast.Setop (op, l, r) ->
+      let* lrel = combine strategy cat l in
+      let* rrel = combine strategy cat r in
+      if
+        Nra_relational.Schema.arity (Relation.schema lrel)
+        <> Nra_relational.Schema.arity (Relation.schema rrel)
+      then
+        Error
+          (Printf.sprintf
+             "set operation over different arities (%d vs %d columns)"
+             (Nra_relational.Schema.arity (Relation.schema lrel))
+             (Nra_relational.Schema.arity (Relation.schema rrel)))
+      else
+        let f =
+          match (op.Ast.op, op.Ast.all) with
+          | `Union, false -> Nra_algebra.Setops.union
+          | `Union, true -> Nra_algebra.Setops.union_all
+          | `Intersect, false -> Nra_algebra.Setops.intersect
+          | `Intersect, true -> Nra_algebra.Setops.intersect_all
+          | `Except, false -> Nra_algebra.Setops.except
+          | `Except, true -> Nra_algebra.Setops.except_all
+        in
+        Ok (f lrel rrel)
+
+let run_statement strategy cat stmt =
+  match stmt with
+  | Ast.Select q -> run_select strategy cat q
+  | Ast.Setop _ ->
+      let body, order_by, limit = strip_rightmost stmt in
+      let* rel = combine strategy cat body in
+      let* rel =
+        if order_by = [] then Ok rel
+        else
+          let* keys = setop_sort_keys (Relation.schema rel) order_by in
+          Ok (Nra_algebra.Sort.sort keys rel)
+      in
+      Ok
+        (match limit with
+        | Some n -> Nra_algebra.Basic.limit n rel
+        | None -> rel)
+
+(* Materialize common table expressions, in order, as temporary catalog
+   tables carrying a synthetic __rowid primary key (the engine's
+   carried-key discipline needs one); always deregistered afterwards. *)
+let run_with strategy cat ctes stmt =
+  let registered = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun n -> try Catalog.drop_table cat n with Not_found -> ())
+        !registered)
+    (fun () ->
+      let rec go = function
+        | [] -> run_statement strategy cat stmt
+        | (name, cstmt) :: rest ->
+            if Catalog.mem cat name then
+              Error (Printf.sprintf "relation %s already exists" name)
+            else
+              let* rel = run_statement strategy cat cstmt in
+              let cols =
+                Nra_relational.Schema.column "__rowid" Ttype.Int
+                :: (Array.to_list
+                      (Nra_relational.Schema.columns (Relation.schema rel))
+                   |> List.map (fun (c : Nra_relational.Schema.column) ->
+                          { c with Nra_relational.Schema.table = "" }))
+              in
+              let rows =
+                Array.mapi
+                  (fun i row -> Row.concat [| Value.Int i |] row)
+                  (Relation.rows rel)
+              in
+              (match
+                 Table.create ~name ~key:[ "__rowid" ] cols rows
+               with
+              | table ->
+                  Catalog.register cat table;
+                  registered := name :: !registered;
+                  go rest
+              | exception Invalid_argument m -> Error m)
+      in
+      go ctes)
+
+let query ?(strategy = Nra_optimized) cat sql =
+  match Nra_sql.Parser.parse_command_result sql with
+  | Error m -> Error ("parse error: " ^ m)
+  | Ok (Ast.Cmd_query stmt) -> run_statement strategy cat stmt
+  | Ok (Ast.With_query (ctes, stmt)) -> run_with strategy cat ctes stmt
+  | Ok
+      ( Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert_values _
+      | Ast.Insert_select _ | Ast.Delete _ | Ast.Update _ ) ->
+      Error "not a query (use Nra.exec for DDL/DML)"
+
+(* ---------- commands ---------- *)
+
+type exec_result = Rows of Relation.t | Count of int | Done of string
+
+let guard f = try f () with Invalid_argument m | Failure m -> Error m
+
+let do_create cat ~table ~columns ~key =
+  guard (fun () ->
+      if Catalog.mem cat table then
+        Error (Printf.sprintf "table %s already exists" table)
+      else begin
+        let cols =
+          List.map
+            (fun (cd : Ast.column_def) ->
+              Nra_relational.Schema.column ~not_null:cd.Ast.cd_not_null
+                cd.Ast.cd_name cd.Ast.cd_type)
+            columns
+        in
+        Catalog.register cat (Table.create ~name:table ~key cols [||]);
+        Ok (Done (Printf.sprintf "table %s created" table))
+      end)
+
+let do_insert_rows cat table new_rows =
+  guard (fun () ->
+      match Catalog.table_opt cat table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some t ->
+          let arity =
+            Nra_relational.Schema.arity (Table.schema t)
+          in
+          let bad =
+            List.find_opt
+              (fun r -> Array.length r <> arity)
+              new_rows
+          in
+          (match bad with
+          | Some r ->
+              Error
+                (Printf.sprintf
+                   "insert into %s: %d values where %d columns expected"
+                   table (Array.length r) arity)
+          | None ->
+              let rows =
+                Array.append
+                  (Relation.rows (Table.relation t))
+                  (Array.of_list new_rows)
+              in
+              Catalog.update_rows cat table rows;
+              Ok (Count (List.length new_rows))))
+
+let do_delete strategy cat table where =
+  guard (fun () ->
+      match Catalog.table_opt cat table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some t -> (
+          let probe =
+            Ast.simple_query ~select:[ Ast.Star ]
+              ~from:[ (table, None) ]
+              ?where ()
+          in
+          match run_select strategy cat probe with
+          | Error m -> Error m
+          | Ok matching ->
+              (* identify doomed rows by primary key *)
+              let keys = Table.key_positions t in
+              let doomed = Hashtbl.create 64 in
+              Array.iter
+                (fun row ->
+                  let k = Row.project_arr row keys in
+                  Hashtbl.replace doomed (Row.hash k) k)
+                (Relation.rows matching);
+              let is_doomed row =
+                let k = Row.project_arr row keys in
+                match Hashtbl.find_opt doomed (Row.hash k) with
+                | Some k2 -> Row.equal k k2
+                | None -> false
+              in
+              let before = Table.cardinality t in
+              let survivors =
+                Array.of_list
+                  (List.filter
+                     (fun r -> not (is_doomed r))
+                     (Array.to_list (Relation.rows (Table.relation t))))
+              in
+              Catalog.update_rows cat table survivors;
+              Ok (Count (before - Array.length survivors))))
+
+let do_update strategy cat table assigns where =
+  guard (fun () ->
+      match Catalog.table_opt cat table with
+      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | Some t -> (
+          let schema = Table.schema t in
+          let positions =
+            List.map
+              (fun (c, _) ->
+                match Nra_relational.Schema.find_opt schema c with
+                | Some i -> i
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "table %s has no column %s" table c))
+              assigns
+          in
+          (* one query computes, per matching primary key, the new values
+             of the assigned columns — so assignments see the pre-update
+             row and the WHERE may use subqueries *)
+          let select =
+            List.map
+              (fun k -> Ast.Sel_expr (Ast.Col (None, k), None))
+              (Table.key_columns t)
+            @ List.mapi
+                (fun i (_, e) ->
+                  Ast.Sel_expr (e, Some (Printf.sprintf "__set%d" i)))
+                assigns
+          in
+          let probe =
+            Ast.simple_query ~select ~from:[ (table, None) ] ?where ()
+          in
+          match run_select strategy cat probe with
+          | Error m -> Error m
+          | Ok matching ->
+              let nkeys = List.length (Table.key_columns t) in
+              let updates = Hashtbl.create 64 in
+              Array.iter
+                (fun row ->
+                  let k = Array.sub row 0 nkeys in
+                  let vs =
+                    Array.sub row nkeys (Array.length row - nkeys)
+                  in
+                  Hashtbl.replace updates (Row.hash k) (k, vs))
+                (Relation.rows matching);
+              let keys = Table.key_positions t in
+              let changed = ref 0 in
+              let rows =
+                Array.map
+                  (fun row ->
+                    let k = Row.project_arr row keys in
+                    match Hashtbl.find_opt updates (Row.hash k) with
+                    | Some (k2, vs) when Row.equal k k2 ->
+                        incr changed;
+                        let row' = Array.copy row in
+                        List.iteri
+                          (fun i pos -> row'.(pos) <- vs.(i))
+                          positions;
+                        row'
+                    | _ -> row)
+                  (Relation.rows (Table.relation t))
+              in
+              Catalog.update_rows cat table rows;
+              Ok (Count !changed)))
+
+let exec ?(strategy = Nra_optimized) cat sql =
+  match Nra_sql.Parser.parse_command_result sql with
+  | Error m -> Error ("parse error: " ^ m)
+  | Ok (Ast.Cmd_query stmt) -> (
+      match run_statement strategy cat stmt with
+      | Ok rel -> Ok (Rows rel)
+      | Error m -> Error m)
+  | Ok (Ast.Create_table { table; columns; key }) ->
+      do_create cat ~table ~columns ~key
+  | Ok (Ast.Drop_table table) ->
+      if Catalog.mem cat table then begin
+        Catalog.drop_table cat table;
+        Ok (Done (Printf.sprintf "table %s dropped" table))
+      end
+      else Error (Printf.sprintf "unknown table %s" table)
+  | Ok (Ast.Insert_values (table, rows)) ->
+      do_insert_rows cat table (List.map Array.of_list rows)
+  | Ok (Ast.Insert_select (table, stmt)) -> (
+      match run_statement strategy cat stmt with
+      | Error m -> Error m
+      | Ok rel ->
+          do_insert_rows cat table (Array.to_list (Relation.rows rel)))
+  | Ok (Ast.Delete (table, where)) -> do_delete strategy cat table where
+  | Ok (Ast.With_query (ctes, stmt)) -> (
+      match run_with strategy cat ctes stmt with
+      | Ok rel -> Ok (Rows rel)
+      | Error m -> Error m)
+  | Ok (Ast.Update (table, assigns, where)) ->
+      do_update strategy cat table assigns where
+
+let query_exn ?strategy cat sql =
+  match query ?strategy cat sql with
+  | Ok rel -> rel
+  | Error m -> failwith m
+
+let explain cat sql =
+  match Nra_planner.Analyze.analyze_string cat sql with
+  | Error m -> Error m
+  | Ok t ->
+      let plan = Nra_exec.Classical.plan cat t in
+      Ok
+        (Format.asprintf
+           "@[<v>tree expression:@,%a@,@,depth: %d@,linear correlated: \
+            %b%a%a@]"
+           Nra_planner.Analyze.pp_block t.Nra_planner.Analyze.root
+           t.Nra_planner.Analyze.depth t.Nra_planner.Analyze.linear
+           (fun ppf plan ->
+             if plan <> [] then begin
+               Format.fprintf ppf "@,classical strategies:";
+               List.iter
+                 (fun (id, s) ->
+                   Format.fprintf ppf "@,  block T%d: %s" id
+                     (Nra_exec.Classical.strategy_to_string s))
+                 plan
+             end)
+           plan
+           (fun ppf t ->
+             if t.Nra_planner.Analyze.depth > 0 then
+               Format.fprintf ppf
+                 "@,@,nested relational pipeline (optimized):@,%s"
+                 (String.trim (Nra_exec.Nra.plan_description t)))
+           t)

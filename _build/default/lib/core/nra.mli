@@ -1,0 +1,126 @@
+(** Nested relational processing of SQL subqueries — public facade.
+
+    This library reproduces Cao & Badia, {e "A Nested Relational
+    Approach to Processing SQL Subqueries"} (SIGMOD 2005): a complete
+    in-memory relational engine, a SQL subset with arbitrarily nested
+    non-aggregate subqueries, and interchangeable evaluation
+    strategies: nested iteration, classical unnesting, magic
+    decorrelation, and the paper's nested relational approach in three
+    configurations.
+
+    Quickstart:
+    {[
+      let cat = Nra.Tpch.Gen.generate Nra.Tpch.Gen.default in
+      match Nra.query cat "select o_orderkey from orders where ..." with
+      | Ok rel -> Format.printf "%a@." Nra.Relation.pp rel
+      | Error e -> prerr_endline e
+    ]} *)
+
+(** {1 Re-exported components} *)
+
+module Value = Nra_relational.Value
+module Three_valued = Nra_relational.Three_valued
+module Ttype = Nra_relational.Ttype
+module Schema = Nra_relational.Schema
+module Row = Nra_relational.Row
+module Relation = Nra_relational.Relation
+module Expr = Nra_relational.Expr
+
+module Table = Nra_storage.Table
+module Catalog = Nra_storage.Catalog
+module Hash_index = Nra_storage.Hash_index
+module Sorted_index = Nra_storage.Sorted_index
+
+module Algebra : sig
+  module Basic = Nra_algebra.Basic
+  module Join = Nra_algebra.Join
+  module Setops = Nra_algebra.Setops
+  module Aggregate = Nra_algebra.Aggregate
+  module Sort = Nra_algebra.Sort
+end
+
+module Nested : sig
+  module Nested_relation = Nra_nested.Nested_relation
+  module Grouped = Nra_nested.Grouped
+  module Link_pred = Nra_nested.Link_pred
+  module Linking = Nra_nested.Linking
+end
+
+module Sql : sig
+  module Ast = Nra_sql.Ast
+  module Lexer = Nra_sql.Lexer
+  module Parser = Nra_sql.Parser
+end
+
+module Planner : sig
+  module Resolved = Nra_planner.Resolved
+  module Analyze = Nra_planner.Analyze
+end
+
+module Exec : sig
+  module Frame = Nra_exec.Frame
+  module Post = Nra_exec.Post
+  module Naive = Nra_exec.Naive
+  module Classical = Nra_exec.Classical
+  module Magic = Nra_exec.Magic
+  module Linkeval = Nra_exec.Linkeval
+  module Nra_exec = Nra_exec.Nra
+end
+
+module Tpch : sig
+  module Prng = Nra_tpch.Prng
+  module Gen = Nra_tpch.Gen
+  module Queries = Nra_tpch.Queries
+end
+
+(** {1 Convenience API} *)
+
+type strategy =
+  | Naive  (** nested iteration, index-assisted *)
+  | Classical  (** semijoin/antijoin unnesting with fallbacks *)
+  | Magic  (** magic decorrelation (related work §2) *)
+  | Nra_original  (** the paper's approach, unoptimized *)
+  | Nra_optimized  (** pipelined nest + linking selection (default) *)
+  | Nra_full  (** all Section 4.2 optimizations *)
+  | Hybrid
+      (** the paper's Section 6 integration story: when classical
+          unnesting applies to {e every} subquery (semijoins/antijoins
+          only, no iteration fallback), use it — it wins on positive
+          operators (Figure 5); otherwise use the full nested relational
+          approach *)
+
+val strategies : (string * strategy) list
+val strategy_of_string : string -> strategy option
+val strategy_to_string : strategy -> string
+
+val query :
+  ?strategy:strategy -> Catalog.t -> string -> (Relation.t, string) result
+(** Parse, analyze and run a SQL statement — a SELECT query, or several
+    combined with [UNION / INTERSECT / EXCEPT [ALL]] (an ORDER BY /
+    LIMIT after the last component applies to the combined result and
+    must use output column names or 1-based positions).  Defaults to
+    [Nra_optimized]. *)
+
+val query_exn : ?strategy:strategy -> Catalog.t -> string -> Relation.t
+
+(** {1 Commands — DDL and DML} *)
+
+type exec_result =
+  | Rows of Relation.t  (** a query's result *)
+  | Count of int  (** rows inserted / deleted *)
+  | Done of string  (** DDL acknowledgement *)
+
+val exec :
+  ?strategy:strategy -> Catalog.t -> string -> (exec_result, string) result
+(** Run any command: a query (like {!query}), [CREATE TABLE] (a
+    [PRIMARY KEY] clause is mandatory — the engine's invariant),
+    [DROP TABLE], [INSERT INTO t VALUES (…), …],
+    [INSERT INTO t SELECT …], or [DELETE FROM t [WHERE …]] (the WHERE
+    may contain subqueries and runs under the chosen strategy).
+    Modifications revalidate the schema, enforce key uniqueness and
+    rebuild the table's indexes. *)
+
+val explain : Catalog.t -> string -> (string, string) result
+(** A textual report: the block tree (the paper's "tree expression"),
+    nesting depth, linearity, and the strategy the classical baseline
+    would pick per subquery. *)

@@ -1,0 +1,1 @@
+lib/exec/classical.ml: Analyze Expr Frame List Naive Nra_algebra Nra_planner Nra_relational Post Relation Resolved Schema Three_valued

@@ -1,0 +1,1 @@
+lib/exec/frame.ml: Analyze Expr Iosim List Nra_algebra Nra_planner Nra_relational Nra_storage Printf Relation Resolved Schema String Table

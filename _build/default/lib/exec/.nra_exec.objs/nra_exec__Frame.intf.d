@@ -1,0 +1,1 @@
+lib/exec/frame.mli: Analyze Expr Nra_planner Nra_relational Relation Resolved Schema

@@ -1,0 +1,1 @@
+lib/exec/linkeval.ml: Analyze Array Expr Frame List Nra_algebra Nra_planner Nra_relational Nra_sql Resolved Row Schema Three_valued Ttype Value

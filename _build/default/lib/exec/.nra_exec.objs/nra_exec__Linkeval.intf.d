@@ -1,0 +1,1 @@
+lib/exec/linkeval.mli: Analyze Expr Nra_planner Nra_relational Row Schema Three_valued

@@ -1,0 +1,1 @@
+lib/exec/magic.ml: Analyze Array Expr Frame Hashtbl Linkeval List Naive Nra_planner Nra_relational Post Relation Resolved Row Three_valued Value

@@ -1,0 +1,1 @@
+lib/exec/magic.mli: Analyze Catalog Nra_planner Nra_relational Nra_storage Relation

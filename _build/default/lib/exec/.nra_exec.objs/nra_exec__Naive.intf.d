@@ -1,0 +1,1 @@
+lib/exec/naive.mli: Analyze Catalog Nra_planner Nra_relational Nra_storage Relation Row Schema Three_valued

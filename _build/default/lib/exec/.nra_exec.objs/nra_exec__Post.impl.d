@@ -1,0 +1,1 @@
+lib/exec/post.ml: Analyze Array Expr Format Fun List Nra_algebra Nra_planner Nra_relational Nra_sql Option Printf Relation Resolved Schema Ttype Value

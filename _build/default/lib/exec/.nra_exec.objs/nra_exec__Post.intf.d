@@ -1,0 +1,1 @@
+lib/exec/post.mli: Analyze Nra_planner Nra_relational Relation

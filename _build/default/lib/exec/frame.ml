@@ -1,0 +1,62 @@
+open Nra_relational
+open Nra_storage
+open Nra_planner
+
+exception Unsupported of string
+
+let to_scalar schema e =
+  try Resolved.to_scalar schema e
+  with Resolved.Unbound c ->
+    raise (Unsupported (Printf.sprintf "column %s not in frame" c))
+
+let to_pred schema conds =
+  try Expr.fold_pred (Expr.conj (List.map (Resolved.to_pred schema) conds))
+  with Resolved.Unbound c ->
+    raise (Unsupported (Printf.sprintf "column %s not in frame" c))
+
+let cond_uids c =
+  List.sort_uniq String.compare
+    (List.map (fun rc -> rc.Resolved.uid) (Resolved.cond_cols c))
+
+let applicable ~uids c =
+  List.for_all (fun u -> List.mem u uids) (cond_uids c)
+
+let block_relation ?(charge = true) (b : Analyze.block) =
+  if charge then
+    List.iter
+      (fun (bd : Analyze.binding) ->
+        Iosim.charge_scan_rows (Table.cardinality bd.Analyze.table))
+      b.Analyze.bindings;
+  let pending = ref b.Analyze.local in
+  let take uids =
+    let now, later = List.partition (applicable ~uids) !pending in
+    pending := later;
+    now
+  in
+  match b.Analyze.bindings with
+  | [] -> invalid_arg "block_relation: no bindings"
+  | first :: rest ->
+      let rel = ref (Table.relation first.Analyze.table) in
+      let uids = ref [ first.Analyze.uid ] in
+      let conds = take !uids in
+      if conds <> [] then
+        rel := Nra_algebra.Basic.select (to_pred (Relation.schema !rel) conds) !rel;
+      List.iter
+        (fun (bd : Analyze.binding) ->
+          uids := bd.Analyze.uid :: !uids;
+          let joined_schema =
+            Schema.append (Relation.schema !rel)
+              (Relation.schema (Table.relation bd.Analyze.table))
+          in
+          let conds = take !uids in
+          rel :=
+            Nra_algebra.Join.join Nra_algebra.Join.Inner
+              ~on:(to_pred joined_schema conds)
+              !rel
+              (Table.relation bd.Analyze.table))
+        rest;
+      assert (!pending = []);
+      !rel
+
+let single_binding (b : Analyze.block) =
+  match b.Analyze.bindings with [ bd ] -> Some bd | _ -> None

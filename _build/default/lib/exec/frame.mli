@@ -1,0 +1,31 @@
+(** Frames: the wide relations the executors operate on.
+
+    A frame's schema is a concatenation of table schemas qualified by
+    binding uids; resolved predicates translate positionally against it
+    by uid lookup.  [block_relation] materializes the paper's
+    T{_i} = σ{_ i'}(R{_i}): the block's FROM tables joined with every
+    local conjunct pushed down as early as it becomes applicable. *)
+
+open Nra_relational
+open Nra_planner
+
+exception Unsupported of string
+
+val to_pred : Schema.t -> Resolved.rcond list -> Expr.pred
+(** Conjunction of resolved conditions over a frame schema.
+    @raise Unsupported if a column is not present in the frame. *)
+
+val to_scalar : Schema.t -> Resolved.rexpr -> Expr.scalar
+
+val cond_uids : Resolved.rcond -> string list
+val applicable : uids:string list -> Resolved.rcond -> bool
+(** Does the condition reference only the given binding uids? *)
+
+val block_relation : ?charge:bool -> Analyze.block -> Relation.t
+(** The block's tables inner-joined under its local conjuncts (pushed
+    down); correlated conjuncts and children are {e not} applied.
+    Unless [~charge:false], one sequential scan per base table is
+    charged to {!Nra_storage.Iosim}. *)
+
+val single_binding : Analyze.block -> Analyze.binding option
+(** The block's binding when it has exactly one table. *)

@@ -1,0 +1,90 @@
+open Nra_relational
+open Nra_planner
+module A = Analyze
+module R = Resolved
+module T3 = Three_valued
+module Ast = Nra_sql.Ast
+
+type verdict = Row.t -> Row.t list -> T3.t
+
+let guess_ty schema = function
+  | Expr.Col i -> (Schema.col schema i).Schema.ty
+  | _ -> Ttype.Float
+
+let verdict_and_keep ~key_schema ~wide_schema ~with_marker (c : A.child) :
+    (Expr.scalar * Schema.column) list * (Row.t -> Row.t list -> T3.t) =
+  let b = c.A.block in
+  let keep_b () =
+    match (c.A.link, b.A.linked_attr, b.A.scalar_agg) with
+    | (A.L_in _ | A.L_not_in _ | A.L_quant _), Some e, _ ->
+        let s = Frame.to_scalar wide_schema e in
+        [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
+    | A.L_scalar _, Some e, _ ->
+        let s = Frame.to_scalar wide_schema e in
+        [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
+    | A.L_scalar _, None, Some (_, Some arg) ->
+        let s = Frame.to_scalar wide_schema arg in
+        [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
+    | _ -> []
+  in
+  let keep_m () =
+    if with_marker then
+      let s = Frame.to_scalar wide_schema (R.RCol b.A.marker) in
+      [ (s, Schema.column "__m" (guess_ty wide_schema s)) ]
+    else []
+  in
+  let keep = keep_b () @ keep_m () in
+  let marker_pos = if with_marker then Some (List.length keep - 1) else None in
+  let filt elems =
+    match marker_pos with
+    | None -> elems
+    | Some m -> List.filter (fun e -> not (Value.is_null e.(m))) elems
+  in
+  let a_scalar e = Frame.to_scalar key_schema e in
+  let quant_verdict a op q =
+    let a = a_scalar a in
+    fun outer elems ->
+      let x = Expr.eval_scalar outer a in
+      let one (e : Row.t) = T3.cmp op x e.(0) in
+      let elems = filt elems in
+      match q with
+      | `Any -> T3.disj (List.map one elems)
+      | `All -> T3.conj (List.map one elems)
+  in
+  let verdict =
+    match c.A.link with
+    | A.L_exists -> fun _ elems -> T3.of_bool (filt elems <> [])
+    | A.L_not_exists -> fun _ elems -> T3.of_bool (filt elems = [])
+    | A.L_in a -> quant_verdict a T3.Eq `Any
+    | A.L_not_in a -> quant_verdict a T3.Neq `All
+    | A.L_quant (a, op, q) -> quant_verdict a op q
+    | A.L_scalar (a, op) -> (
+        let a = a_scalar a in
+        match b.A.scalar_agg with
+        | Some (f, arg) ->
+            let func =
+              match (f, arg) with
+              | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
+              | Ast.Count, Some _ -> Nra_algebra.Aggregate.Count (Expr.Col 0)
+              | Ast.Sum, Some _ -> Nra_algebra.Aggregate.Sum (Expr.Col 0)
+              | Ast.Avg, Some _ -> Nra_algebra.Aggregate.Avg (Expr.Col 0)
+              | Ast.Min, Some _ -> Nra_algebra.Aggregate.Min (Expr.Col 0)
+              | Ast.Max, Some _ -> Nra_algebra.Aggregate.Max (Expr.Col 0)
+              | _, None ->
+                  raise (Frame.Unsupported "aggregate without argument")
+            in
+            fun outer elems ->
+              let x = Expr.eval_scalar outer a in
+              let v = Nra_algebra.Aggregate.eval_one func (filt elems) in
+              T3.cmp op x v
+        | None -> (
+            fun outer elems ->
+              let x = Expr.eval_scalar outer a in
+              match filt elems with
+              | [] -> T3.Unknown
+              | [ e ] -> T3.cmp op x e.(0)
+              | _ :: _ :: _ ->
+                  failwith "scalar subquery returned more than one row"))
+  in
+  (keep, verdict)
+

@@ -1,0 +1,25 @@
+(** Shared linking-predicate evaluation for the set-oriented executors.
+
+    A {e verdict} decides one linking predicate for one outer tuple,
+    given the element rows of its associated set; [keep] describes how
+    those element rows are computed from a wider frame (the linked
+    attribute first, then — for outer-join paths — the carried primary
+    key marker).  Used by the nested relational executor and the magic
+    decorrelation baseline. *)
+
+open Nra_relational
+open Nra_planner
+
+type verdict = Row.t -> Row.t list -> Three_valued.t
+
+val verdict_and_keep :
+  key_schema:Schema.t ->
+  wide_schema:Schema.t ->
+  with_marker:bool ->
+  Analyze.child ->
+  (Expr.scalar * Schema.column) list * verdict
+(** [key_schema] is the frame the outer tuple lives in (the linking
+    attribute is evaluated against it); [wide_schema] is the frame the
+    keep expressions are computed from.  With [with_marker], elements
+    whose final column is NULL are treated as outer-join padding and
+    excluded from the set. *)

@@ -1,0 +1,134 @@
+open Nra_relational
+open Nra_planner
+module A = Analyze
+module T3 = Three_valued
+
+(* A small hash multimap from key rows to accumulated values, used for
+   both the magic set (unit values) and the grouped inner result. *)
+module Keyed = struct
+  type 'a t = (int, Row.t * 'a list ref) Hashtbl.t
+
+  let create n : 'a t = Hashtbl.create (max 16 n)
+
+  let find (t : 'a t) key =
+    Hashtbl.find_all t (Row.hash key)
+    |> List.find_opt (fun (k, _) -> Row.equal k key)
+
+  let add (t : 'a t) key v =
+    match find t key with
+    | Some (_, cell) -> cell := v :: !cell
+    | None -> Hashtbl.add t (Row.hash key) (key, ref [ v ])
+
+  let mem (t : 'a t) key = find t key <> None
+
+  let get (t : 'a t) key =
+    match find t key with Some (_, cell) -> List.rev !cell | None -> []
+end
+
+let magic_applicable (c : A.child) =
+  let b = c.A.block in
+  A.self_contained b && A.equi_correlation b <> None
+
+(* Decide the children of block [p] over relation [rel] (whose schema is
+   [p]'s frame).  Failing rows are discarded: this executor evaluates
+   strictly bottom-up, so at every level "the qualifying rows of the
+   block" is exactly the set the enclosing level needs. *)
+let rec apply_children cat t rel (p : A.block) =
+  List.fold_left (fun rel c -> apply_child cat t rel c) rel p.A.children
+
+and apply_child cat t rel (c : A.child) =
+  let b = c.A.block in
+  let key_schema = Relation.schema rel in
+  match (magic_applicable c, A.equi_correlation b) with
+  | true, Some pairs ->
+      let outer_keys =
+        Array.of_list
+          (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
+      in
+      (* 1. the magic set: distinct correlation keys of the outer *)
+      let magic = Keyed.create (Relation.cardinality rel) in
+      Array.iter
+        (fun row ->
+          let key = Array.map (Expr.eval_scalar row) outer_keys in
+          if not (Array.exists Value.is_null key) then
+            if not (Keyed.mem magic key) then Keyed.add magic key ())
+        (Relation.rows rel);
+      (* 2. restrict the inner block by the magic set, then reduce its
+         own subqueries on the restricted relation *)
+      let child_rel = Frame.block_relation b in
+      let cschema = Relation.schema child_rel in
+      let child_keys =
+        Array.of_list
+          (List.map
+             (fun ((col : Resolved.rcol), _) ->
+               Frame.to_scalar cschema (Resolved.RCol col))
+             pairs)
+      in
+      let restricted =
+        Relation.filter
+          (fun row ->
+            let key = Array.map (Expr.eval_scalar row) child_keys in
+            (not (Array.exists Value.is_null key)) && Keyed.mem magic key)
+          child_rel
+      in
+      let reduced = apply_children cat t restricted b in
+      (* 3. group by the correlation key and decide per outer tuple *)
+      let keep, verdict =
+        Linkeval.verdict_and_keep ~key_schema ~wide_schema:cschema
+          ~with_marker:false c
+      in
+      let groups = Keyed.create (Relation.cardinality reduced) in
+      Array.iter
+        (fun row ->
+          let key = Array.map (Expr.eval_scalar row) child_keys in
+          if not (Array.exists Value.is_null key) then
+            Keyed.add groups key
+              (Array.of_list
+                 (List.map (fun (s, _) -> Expr.eval_scalar row s) keep)))
+        (Relation.rows reduced);
+      Relation.filter
+        (fun row ->
+          let key = Array.map (Expr.eval_scalar row) outer_keys in
+          let elems =
+            if Array.exists Value.is_null key then [] else Keyed.get groups key
+          in
+          T3.to_bool (verdict row elems))
+        rel
+  | _ ->
+      (* no equality correlation (or an escaping reference): nested
+         iteration, as the technique's relational formulations do *)
+      let k = Naive.compile cat t key_schema c in
+      Relation.filter (fun row -> T3.to_bool (k row)) rel
+
+let run_where cat (t : A.t) =
+  apply_children cat t (Frame.block_relation t.A.root) t.A.root
+
+let run cat t = Post.apply t.A.output (run_where cat t)
+
+let magic_set_sizes _cat (t : A.t) =
+  let acc = ref [] in
+  let rec go rel (p : A.block) =
+    List.iter
+      (fun (c : A.child) ->
+        let b = c.A.block in
+        match (magic_applicable c, A.equi_correlation b) with
+        | true, Some pairs ->
+            let key_schema = Relation.schema rel in
+            let outer_keys =
+              Array.of_list
+                (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
+            in
+            let magic = Keyed.create 64 in
+            Array.iter
+              (fun row ->
+                let key = Array.map (Expr.eval_scalar row) outer_keys in
+                if not (Array.exists Value.is_null key) then
+                  if not (Keyed.mem magic key) then Keyed.add magic key ())
+              (Relation.rows rel);
+            acc := (b.A.id, Hashtbl.length magic) :: !acc;
+            go (Frame.block_relation ~charge:false b) b
+        | _ -> ())
+      p.A.children
+  in
+  go (Frame.block_relation ~charge:false t.A.root) t.A.root;
+  List.rev !acc

@@ -1,0 +1,266 @@
+open Nra_relational
+open Nra_storage
+open Nra_planner
+module A = Analyze
+module R = Resolved
+module T3 = Three_valued
+module Ast = Nra_sql.Ast
+
+type stats = { mutable inner_loops : int; mutable index_probes : int }
+
+let stats = { inner_loops = 0; index_probes = 0 }
+
+(* Correlated equi-conjuncts of block [b]: (inner column name, outer
+   expression), for index probing. *)
+let equi_probes (b : A.block) =
+  List.filter_map
+    (fun rc ->
+      match rc with
+      | R.RCmp (T3.Eq, R.RCol c, e) when c.R.block_id = b.A.id
+        && not (List.mem b.A.id (R.expr_blocks e)) ->
+          Some (c.R.col, e)
+      | R.RCmp (T3.Eq, e, R.RCol c) when c.R.block_id = b.A.id
+        && not (List.mem b.A.id (R.expr_blocks e)) ->
+          Some (c.R.col, e)
+      | _ -> None)
+    b.A.correlated
+
+(* Pick an index of the inner table covering (a subset of) the equi
+   columns; prefer the sorted (B-tree-like) index, as the paper's System
+   A uses.  Returns a probe function from the outer row to candidate
+   base-table rows. *)
+let index_access cat (bd : A.binding) outer_schema equis =
+  match Catalog.table_opt cat bd.A.source with
+  | None -> None
+  | Some base_table -> (
+      let base_name = Table.name base_table in
+      let cols = List.map fst equis in
+      let scalar_of e = Resolved.to_scalar outer_schema e in
+      let key_scalars names =
+        List.map (fun c -> scalar_of (List.assoc c equis)) names
+        |> Array.of_list
+      in
+      let probe_with names ids_of =
+        let scalars = key_scalars names in
+        let rows = Relation.rows (Table.relation bd.A.table) in
+        (* the index descent is charged at probe time; each rowid fetch
+           is charged lazily as the row is actually examined — through
+           the buffer cache, and only if the evaluation gets that far
+           (EXISTS-style early exits pay only for what they read) *)
+        Some
+          (fun outer_row ->
+            stats.index_probes <- stats.index_probes + 1;
+            Iosim.charge_probe ~matches:0;
+            let key = Array.map (Expr.eval_scalar outer_row) scalars in
+            let ids = ids_of key in
+            Seq.map
+              (fun id ->
+                Iosim.charge_row_fetch ~table:base_name ~row_id:id;
+                rows.(id))
+              (List.to_seq ids))
+      in
+      (* exact sorted index on all equi columns, in some order *)
+      let sorted_exact =
+        List.find_map
+          (fun perm ->
+            match
+              Catalog.sorted_index_on cat ~table:base_name (List.hd perm)
+            with
+            | Some idx
+              when List.length (Array.to_list (Sorted_index.positions idx))
+                   = List.length perm ->
+                (* verify the index covers exactly these columns *)
+                let idx_cols =
+                  Array.to_list (Sorted_index.positions idx)
+                  |> List.map (fun p ->
+                         (Schema.col (Table.schema base_table) p).Schema.name)
+                in
+                if List.sort compare idx_cols = List.sort compare cols then
+                  Some (idx_cols, idx)
+                else None
+            | _ -> None)
+          (List.map (fun c -> [ c ]) cols
+          @ if List.length cols > 1 then [ cols; List.rev cols ] else [])
+      in
+      match sorted_exact with
+      | Some (idx_cols, idx) ->
+          probe_with idx_cols (fun key -> Sorted_index.probe idx key)
+      | None -> (
+          (* hash index on a subset *)
+          match Catalog.hash_index_covering cat ~table:base_name cols with
+          | Some (idx, idx_cols) ->
+              probe_with idx_cols (fun key -> Hash_index.probe idx key)
+          | None -> (
+              (* sorted index on a single equi column *)
+              match
+                List.find_map
+                  (fun c ->
+                    Option.map (fun i -> (c, i))
+                      (Catalog.sorted_index_on cat ~table:base_name c))
+                  cols
+              with
+              | Some (c, idx) ->
+                  probe_with [ c ] (fun key -> Sorted_index.probe idx key)
+              | None -> None)))
+
+(* A subtree whose result cannot depend on the outer tuple: no
+   correlation anywhere inside, and the output attribute references only
+   the subtree's own blocks.  A DBMS evaluates such a subquery once; so
+   do we (one scan charge, one computation). *)
+let static_subtree (b : A.block) =
+  let ids = List.map (fun blk -> blk.A.id) (A.collect_blocks b) in
+  let expr_ok e = List.for_all (fun i -> List.mem i ids) (R.expr_blocks e) in
+  List.for_all
+    (fun (blk : A.block) ->
+      blk.A.correlated = []
+      && (match blk.A.linked_attr with None -> true | Some e -> expr_ok e)
+      && match blk.A.scalar_agg with
+         | Some (_, Some e) -> expr_ok e
+         | _ -> true)
+    (A.collect_blocks b)
+
+let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
+    (c : A.child) : Row.t -> T3.t =
+  let b = c.A.block in
+  let filtered = Frame.block_relation ~charge:false b in
+  let base_schema = Relation.schema filtered in
+  let concat_schema = Schema.append outer_schema base_schema in
+  let corr_pred = Frame.to_pred concat_schema b.A.correlated in
+  let local_pred =
+    (* for the index path, candidates come from the unfiltered base
+       table and local conjuncts are applied per candidate *)
+    Frame.to_pred base_schema b.A.local
+  in
+  let kids =
+    List.map (compile ~use_indexes cat t concat_schema) b.A.children
+  in
+  let index_probe =
+    match (use_indexes, Frame.single_binding b) with
+    | true, Some bd -> (
+        match equi_probes b with
+        | [] -> None
+        | equis -> index_access cat bd outer_schema equis)
+    | _ -> None
+  in
+  let scan_rows = Relation.rows filtered in
+  let linked =
+    Option.map (fun e -> Frame.to_scalar concat_schema e) b.A.linked_attr
+  in
+  let agg_arg =
+    match b.A.scalar_agg with
+    | Some (_, Some e) -> Some (Frame.to_scalar concat_schema e)
+    | _ -> None
+  in
+  let scan_charges =
+    List.map (fun (bd : A.binding) -> Table.cardinality bd.A.table)
+      b.A.bindings
+  in
+  (* lazy qualifying sequence over concatenated (outer ++ inner) rows;
+     I/O is charged as elements are forced, so short-circuiting
+     evaluation pays only for what it examines *)
+  let qualifying_seq outer_row : Row.t Seq.t =
+    let candidates =
+      match index_probe with
+      | Some probe ->
+          Seq.filter (fun crow -> Expr.holds local_pred crow)
+            (probe outer_row)
+      | None ->
+          (* nested iteration without an index rescans the inner block *)
+          List.iter Nra_storage.Iosim.charge_scan_rows scan_charges;
+          Array.to_seq scan_rows
+    in
+    Seq.filter_map
+      (fun crow ->
+        let row = Row.concat outer_row crow in
+        if
+          Expr.holds corr_pred row
+          && List.for_all (fun k -> T3.to_bool (k row)) kids
+        then Some row
+        else None)
+      candidates
+  in
+  let static = static_subtree b in
+  let static_memo =
+    lazy
+      (Seq.memoize (qualifying_seq (Row.nulls (Schema.arity outer_schema))))
+  in
+  let qualifying_for outer_row =
+    (* a subquery whose result cannot depend on the outer tuple is
+       evaluated (and charged) once, as a DBMS would *)
+    if static then Lazy.force static_memo else qualifying_seq outer_row
+  in
+  (* short-circuiting quantifier evaluation: SOME stops at the first
+     True, ALL at the first False; Unknown is remembered *)
+  let quant_eval op quant x values =
+    let rec go acc seq =
+      match seq () with
+      | Seq.Nil -> acc
+      | Seq.Cons (v, rest) -> (
+          let r = T3.cmp op x v in
+          match (quant, r) with
+          | `Any, T3.True -> T3.True
+          | `All, T3.False -> T3.False
+          | `Any, r -> go (T3.or_ acc r) rest
+          | `All, r -> go (T3.and_ acc r) rest)
+    in
+    go (match quant with `Any -> T3.False | `All -> T3.True) values
+  in
+  fun outer_row ->
+    stats.inner_loops <- stats.inner_loops + 1;
+    let qualifying = qualifying_for outer_row in
+    match c.A.link with
+    | A.L_exists -> T3.of_bool (not (Seq.is_empty qualifying))
+    | A.L_not_exists -> T3.of_bool (Seq.is_empty qualifying)
+    | A.L_in a | A.L_not_in a | A.L_quant (a, _, _) | A.L_scalar (a, _) -> (
+        let x =
+          Expr.eval_scalar outer_row (Frame.to_scalar outer_schema a)
+        in
+        let linked_values () =
+          match linked with
+          | Some s -> Seq.map (fun row -> Expr.eval_scalar row s) qualifying
+          | None -> Seq.empty
+        in
+        match c.A.link with
+        | A.L_in _ -> quant_eval T3.Eq `Any x (linked_values ())
+        | A.L_not_in _ -> quant_eval T3.Neq `All x (linked_values ())
+        | A.L_quant (_, op, quant) -> quant_eval op quant x (linked_values ())
+        | A.L_scalar (_, op) -> (
+            match b.A.scalar_agg with
+            | Some (f, _) ->
+                let func =
+                  match (f, agg_arg) with
+                  | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
+                  | Ast.Count, Some e -> Nra_algebra.Aggregate.Count e
+                  | Ast.Sum, Some e -> Nra_algebra.Aggregate.Sum e
+                  | Ast.Avg, Some e -> Nra_algebra.Aggregate.Avg e
+                  | Ast.Min, Some e -> Nra_algebra.Aggregate.Min e
+                  | Ast.Max, Some e -> Nra_algebra.Aggregate.Max e
+                  | _, None -> failwith "aggregate without argument"
+                in
+                let v =
+                  Nra_algebra.Aggregate.eval_one func
+                    (List.of_seq qualifying)
+                in
+                T3.cmp op x v
+            | None -> (
+                match List.of_seq (Seq.take 2 (linked_values ())) with
+                | [] -> T3.Unknown
+                | [ v ] -> T3.cmp op x v
+                | _ ->
+                    failwith "scalar subquery returned more than one row"))
+        | A.L_exists | A.L_not_exists -> assert false)
+
+let run_where ?(use_indexes = true) cat (t : A.t) =
+  stats.inner_loops <- 0;
+  stats.index_probes <- 0;
+  let rel = Frame.block_relation t.A.root in
+  let schema = Relation.schema rel in
+  let kids =
+    List.map (compile ~use_indexes cat t schema) t.A.root.A.children
+  in
+  Relation.filter
+    (fun row -> List.for_all (fun k -> T3.to_bool (k row)) kids)
+    rel
+
+let run ?use_indexes cat t =
+  Post.apply t.A.output (run_where ?use_indexes cat t)

@@ -1,0 +1,437 @@
+open Nra_relational
+open Nra_planner
+module A = Analyze
+module R = Resolved
+module T3 = Three_valued
+module J = Nra_algebra.Join
+module Ast = Nra_sql.Ast
+
+type options = {
+  pipelined : bool;
+  nest_impl : [ `Sort | `Hash ];
+  bottom_up_linear : bool;
+  push_down_nest : bool;
+  positive_simplify : bool;
+}
+
+let original =
+  {
+    pipelined = false;
+    nest_impl = `Sort;
+    bottom_up_linear = false;
+    push_down_nest = false;
+    positive_simplify = false;
+  }
+
+let optimized = { original with pipelined = true }
+
+let full =
+  {
+    pipelined = true;
+    nest_impl = `Sort;
+    bottom_up_linear = true;
+    push_down_nest = true;
+    positive_simplify = true;
+  }
+
+type stats = {
+  mutable peak_intermediate_rows : int;
+  mutable total_intermediate_rows : int;
+  mutable nest_select_seconds : float;
+  mutable join_seconds : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ---------- structural checks ---------- *)
+
+let self_contained = A.self_contained
+let equi_correlation = A.equi_correlation
+
+let block_positions schema (blk : A.block) =
+  let uids = A.block_uids blk in
+  let acc = ref [] in
+  Array.iteri
+    (fun i (c : Schema.column) ->
+      if List.mem c.Schema.table uids then acc := i :: !acc)
+    (Schema.columns schema);
+  Array.of_list (List.rev !acc)
+
+(* ---------- nest + linking selection ---------- *)
+
+type mode = Discard | Pad of int array
+
+let apply_mode mode verdict key elems out =
+  match mode with
+  | Discard -> if T3.to_bool (verdict key elems) then key :: out else out
+  | Pad pad ->
+      if T3.to_bool (verdict key elems) then key :: out
+      else begin
+        let padded = Array.copy key in
+        Array.iter (fun i -> padded.(i) <- Value.Null) pad;
+        padded :: out
+      end
+
+(* The staging relation holds the nest-by attributes as a prefix and the
+   keep columns after them; [nest_select] computes υ followed by the
+   linking selection, either as two materialized passes (original) or
+   fused into one group scan over sorted input (optimized). *)
+let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
+  let t0 = now () in
+  let key_arity = Schema.arity key_schema in
+  let prefix =
+    List.init key_arity (fun i -> (Expr.Col i, Schema.col key_schema i))
+  in
+  let staging = Nra_algebra.Basic.project_exprs (prefix @ keep) wide in
+  let by = Array.init key_arity Fun.id in
+  let keep_pos =
+    Array.init (List.length keep) (fun i -> key_arity + i)
+  in
+  let result, emitted_sorted =
+    if not opts.pipelined then begin
+      (* original: materialize the nested relation, then select *)
+      let grouped =
+        match opts.nest_impl with
+        | `Sort -> Nra_nested.Grouped.nest_sort ~by ~keep:keep_pos staging
+        | `Hash -> Nra_nested.Grouped.nest_hash ~by ~keep:keep_pos staging
+      in
+      let out = ref [] in
+      Array.iter
+        (fun (key, elems) ->
+          out := apply_mode mode verdict key (Array.to_list elems) !out)
+        grouped.Nra_nested.Grouped.groups;
+      (Relation.of_rows key_schema (List.rev !out), opts.nest_impl = `Sort)
+    end
+    else begin
+      (* optimized: single pass over (at most once re-)sorted input; the
+         run scan needs adjacent groups, so sortedness is mandatory *)
+      let staging =
+        if sorted then staging else Relation.sort_by by staging
+      in
+      let rows = Relation.rows staging in
+      let n = Array.length rows in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let start = !i in
+        let key = Row.project_arr rows.(start) by in
+        let elems = ref [] in
+        while !i < n && Row.equal_on by rows.(start) rows.(!i) do
+          elems := Row.project_arr rows.(!i) keep_pos :: !elems;
+          incr i
+        done;
+        out := apply_mode mode verdict key (List.rev !elems) !out
+      done;
+      (Relation.of_rows key_schema (List.rev !out), true)
+    end
+  in
+  st.nest_select_seconds <- st.nest_select_seconds +. (now () -. t0);
+  (result, emitted_sorted)
+
+(* ---------- the recursive driver ---------- *)
+
+let is_positive_link = A.is_positive
+
+let record_intermediate st rel =
+  let n = Relation.cardinality rel in
+  st.total_intermediate_rows <- st.total_intermediate_rows + n;
+  if n > st.peak_intermediate_rows then st.peak_intermediate_rows <- n;
+  (* the stored-procedure setting of the paper's Section 5.1 pays a
+     per-tuple cost to fetch the intermediate result from the engine *)
+  Nra_storage.Iosim.charge_fetch_rows n
+
+(* Per-row application of a linking predicate whose element set comes
+   from a closure (virtual-cartesian-product and push-down paths). *)
+let rowwise mode verdict elems_of rel =
+  let out = ref [] in
+  Array.iter
+    (fun row -> out := apply_mode mode verdict row (elems_of row) !out)
+    (Relation.rows rel);
+  Relation.of_rows (Relation.schema rel) (List.rev !out)
+
+let rec process cat t opts st ~discard_ok (rel, sorted_prefix)
+    (p : A.block) =
+  List.fold_left
+    (fun acc c -> apply_child cat t opts st ~discard_ok ~parent:p acc c)
+    (rel, sorted_prefix) p.A.children
+
+and reduce_standalone cat t opts st (b : A.block) : Relation.t =
+  let rel = Frame.block_relation b in
+  let rel', _ = process cat t opts st ~discard_ok:true (rel, 0) b in
+  rel'
+
+and apply_child cat t opts st ~discard_ok ~parent (rel, sorted_prefix)
+    (c : A.child) =
+  let b = c.A.block in
+  let key_schema = Relation.schema rel in
+  let key_arity = Schema.arity key_schema in
+  let mode =
+    if discard_ok then Discard else Pad (block_positions key_schema parent)
+  in
+  let contained = self_contained b in
+  let sp_after_select =
+    match mode with
+    | Discard -> key_arity
+    | Pad _ -> key_arity - Array.length (block_positions key_schema parent)
+  in
+  if contained && b.A.correlated = [] then begin
+    (* virtual Cartesian product: the subquery is evaluated once and its
+       value set shared by every outer tuple *)
+    let child_red = reduce_standalone cat t opts st b in
+    let keep, verdict =
+      Linkeval.verdict_and_keep ~key_schema ~wide_schema:(Relation.schema child_red)
+        ~with_marker:false c
+    in
+    let elems =
+      Array.to_list (Relation.rows child_red)
+      |> List.map (fun row ->
+             Array.of_list
+               (List.map (fun (s, _) -> Expr.eval_scalar row s) keep))
+    in
+    let rel' = rowwise mode verdict (fun _ -> elems) rel in
+    (rel', min sorted_prefix sp_after_select)
+  end
+  else
+    match (opts.push_down_nest && contained, equi_correlation b) with
+    | true, Some pairs ->
+        (* §4.2.4: group the reduced child by its correlation key once;
+           probe per outer tuple *)
+        let child_red = reduce_standalone cat t opts st b in
+        let cschema = Relation.schema child_red in
+        let keep, verdict =
+          Linkeval.verdict_and_keep ~key_schema ~wide_schema:cschema
+            ~with_marker:false c
+        in
+        let child_keys =
+          Array.of_list
+            (List.map (fun (col, _) -> Frame.to_scalar cschema (R.RCol col))
+               pairs)
+        in
+        let outer_keys =
+          Array.of_list
+            (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
+        in
+        let tbl : (int, Row.t * Row.t list ref) Hashtbl.t =
+          Hashtbl.create (max 16 (Relation.cardinality child_red))
+        in
+        Array.iter
+          (fun row ->
+            let key = Array.map (Expr.eval_scalar row) child_keys in
+            if not (Array.exists Value.is_null key) then begin
+              let elem =
+                Array.of_list
+                  (List.map (fun (s, _) -> Expr.eval_scalar row s) keep)
+              in
+              let h = Row.hash key in
+              match
+                Hashtbl.find_all tbl h
+                |> List.find_opt (fun (k, _) -> Row.equal k key)
+              with
+              | Some (_, cell) -> cell := elem :: !cell
+              | None -> Hashtbl.add tbl h (key, ref [ elem ])
+            end)
+          (Relation.rows child_red);
+        let elems_of outer_row =
+          let key = Array.map (Expr.eval_scalar outer_row) outer_keys in
+          if Array.exists Value.is_null key then []
+          else
+            match
+              Hashtbl.find_all tbl (Row.hash key)
+              |> List.find_opt (fun (k, _) -> Row.equal k key)
+            with
+            | Some (_, cell) -> List.rev !cell
+            | None -> []
+        in
+        let rel' = rowwise mode verdict elems_of rel in
+        (rel', min sorted_prefix sp_after_select)
+    | _ ->
+        if
+          opts.positive_simplify && b.A.children = []
+          && discard_ok
+          && is_positive_link c.A.link
+          && b.A.correlated <> []
+        then begin
+          (* §4.2.5: σ_{AθSOME{B}}(υ(R ⟕_C S)) = R ⋉_{C ∧ AθB} S *)
+          let child_rel = Frame.block_relation b in
+          let concat =
+            Schema.append key_schema (Relation.schema child_rel)
+          in
+          let corr = Frame.to_pred concat b.A.correlated in
+          let on =
+            match (c.A.link, b.A.linked_attr) with
+            | A.L_exists, _ -> corr
+            | A.L_in a, Some e ->
+                Expr.And
+                  (corr,
+                   Expr.Cmp (T3.Eq, Frame.to_scalar concat a,
+                             Frame.to_scalar concat e))
+            | A.L_quant (a, op, `Any), Some e ->
+                Expr.And
+                  (corr,
+                   Expr.Cmp (op, Frame.to_scalar concat a,
+                             Frame.to_scalar concat e))
+            | _ -> assert false
+          in
+          let t0 = now () in
+          let rel' = J.join J.Semi ~on rel child_rel in
+          st.join_seconds <- st.join_seconds +. (now () -. t0);
+          (rel', sorted_prefix) (* semijoin preserves left order *)
+        end
+        else if opts.bottom_up_linear && contained then begin
+          (* §4.2.3: reduce the subquery standalone, then one outer join
+             and one nest+selection at this level *)
+          let child_red = reduce_standalone cat t opts st b in
+          join_nest_select cat t opts st ~mode ~sorted_prefix
+            ~sp_after_select rel c child_red ~recurse:false
+        end
+        else begin
+          (* Algorithm 1, general top-down case *)
+          let child_rel = Frame.block_relation b in
+          join_nest_select cat t opts st ~mode ~sorted_prefix
+            ~sp_after_select rel c child_rel ~recurse:true
+        end
+
+and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
+    (c : A.child) child_rel ~recurse =
+  let b = c.A.block in
+  let key_schema = Relation.schema rel in
+  let concat = Schema.append key_schema (Relation.schema child_rel) in
+  let t0 = now () in
+  let wide =
+    if b.A.correlated = [] then
+      (* genuine Cartesian product is required when the subquery is
+         correlated deeper down but not at this level *)
+      J.nested_loop J.Left_outer ~on:Expr.true_ rel child_rel
+    else
+      J.join J.Left_outer
+        ~on:(Frame.to_pred concat b.A.correlated)
+        rel child_rel
+  in
+  st.join_seconds <- st.join_seconds +. (now () -. t0);
+  record_intermediate st wide;
+  let wide, wide_sorted_prefix =
+    if recurse then
+      process cat t opts st
+        ~discard_ok:(mode = Discard && is_positive_link c.A.link)
+        (wide, sorted_prefix) b
+    else (wide, sorted_prefix)
+  in
+  let keep, verdict =
+    Linkeval.verdict_and_keep ~key_schema ~wide_schema:(Relation.schema wide)
+      ~with_marker:true c
+  in
+  let rel', emitted_sorted =
+    nest_select opts st ~key_schema ~keep ~verdict ~mode
+      ~sorted:(wide_sorted_prefix >= Schema.arity key_schema)
+      wide
+  in
+  (rel', if emitted_sorted then sp_after_select else 0)
+
+(* ---------- entry points ---------- *)
+
+let run_where ?(options = optimized) cat (t : A.t) =
+  let st =
+    {
+      peak_intermediate_rows = 0;
+      total_intermediate_rows = 0;
+      nest_select_seconds = 0.0;
+      join_seconds = 0.0;
+    }
+  in
+  let rel = Frame.block_relation t.A.root in
+  let rel', _ =
+    process cat t options st ~discard_ok:true (rel, 0) t.A.root
+  in
+  (rel', st)
+
+let run ?options cat t =
+  let rel, _ = run_where ?options cat t in
+  Post.apply t.A.output rel
+
+(* ---------- plan rendering (no execution) ---------- *)
+
+let plan_description ?(options = optimized) (t : A.t) =
+  let buf = Buffer.create 256 in
+  let line depth fmt =
+    Format.kasprintf
+      (fun s ->
+        Buffer.add_string buf (String.make (2 * depth) ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let conds cs =
+    String.concat " ∧ " (List.map (Format.asprintf "%a" R.pp_cond) cs)
+  in
+  let block_label (b : A.block) =
+    let base =
+      String.concat " ⨯ "
+        (List.map (fun (bd : A.binding) -> bd.A.uid) b.A.bindings)
+    in
+    if b.A.local <> [] then Printf.sprintf "σ[%s](%s)" (conds b.A.local) base
+    else base
+  in
+  let link_str (c : A.child) =
+    match c.A.link with
+    | A.L_exists -> "EXISTS"
+    | A.L_not_exists -> "NOT EXISTS"
+    | A.L_in e -> Format.asprintf "%a IN {…}" R.pp_expr e
+    | A.L_not_in e -> Format.asprintf "%a NOT IN {…}" R.pp_expr e
+    | A.L_quant (e, op, q) ->
+        Format.asprintf "%a %s %s {…}" R.pp_expr e (T3.cmpop_to_string op)
+          (match q with `Any -> "ANY" | `All -> "ALL")
+    | A.L_scalar (e, op) ->
+        Format.asprintf "%a %s scalar{…}" R.pp_expr e (T3.cmpop_to_string op)
+  in
+  let sel_str ~discard_ok (c : A.child) =
+    if discard_ok then Format.sprintf "σ[%s]" (link_str c)
+    else Format.sprintf "σ̄[%s] (pad the owning block)" (link_str c)
+  in
+  let rec walk depth ~discard_ok ~frame (p : A.block) =
+    List.iter
+      (fun (c : A.child) ->
+        let b = c.A.block in
+        let contained = self_contained b in
+        if contained && b.A.correlated = [] then begin
+          line depth "· subquery T%d is uncorrelated: evaluate once" b.A.id;
+          walk (depth + 1) ~discard_ok:true ~frame:(block_label b) b;
+          line depth "%s, against the shared value set" (sel_str ~discard_ok c)
+        end
+        else if options.push_down_nest && contained
+                && equi_correlation b <> None then begin
+          line depth "· §4.2.4 push-down: reduce T%d standalone" b.A.id;
+          walk (depth + 1) ~discard_ok:true ~frame:(block_label b) b;
+          line depth "group T%d by [%s]; probe per outer tuple; %s" b.A.id
+            (conds b.A.correlated) (sel_str ~discard_ok c)
+        end
+        else if options.positive_simplify && b.A.children = [] && discard_ok
+                && is_positive_link c.A.link
+                && b.A.correlated <> [] then
+          line depth "· §4.2.5: %s ⋉[%s ∧ %s] %s" frame
+            (conds b.A.correlated) (link_str c) (block_label b)
+        else if options.bottom_up_linear && contained then begin
+          line depth "· §4.2.3 bottom-up: reduce T%d standalone" b.A.id;
+          walk (depth + 1) ~discard_ok:true ~frame:(block_label b) b;
+          line depth "%s ⟕[%s] T%d; ν by frame keep {linked, key#}; %s" frame
+            (conds b.A.correlated) b.A.id (sel_str ~discard_ok c)
+        end
+        else begin
+          let frame' = frame ^ " ⟕ " ^ block_label b in
+          line depth "%s ⟕[%s] %s" frame
+            (if b.A.correlated = [] then "⨯"
+             else conds b.A.correlated)
+            (block_label b);
+          walk (depth + 1)
+            ~discard_ok:(discard_ok && is_positive_link c.A.link)
+            ~frame:frame' b;
+          line depth "ν by {%s …} keep {linked T%d attrs, %s#}; %s%s" frame
+            b.A.id
+            (Format.asprintf "%a" R.pp_expr (R.RCol b.A.marker))
+            (sel_str ~discard_ok c)
+            (if options.pipelined then " (pipelined)" else "")
+        end)
+      p.A.children
+  in
+  line 0 "T1 := %s" (block_label t.A.root);
+  walk 0 ~discard_ok:true ~frame:"T1" t.A.root;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Output post-processing shared by all executors.
+
+    Every executor reduces a query to the multiset of outer-block frame
+    rows that satisfy WHERE (including all subquery predicates); this
+    module then applies, in SQL order: GROUP BY + aggregates, HAVING,
+    SELECT projection, DISTINCT, ORDER BY, LIMIT. *)
+
+open Nra_relational
+open Nra_planner
+
+exception Unsupported of string
+
+val apply : Analyze.output -> Relation.t -> Relation.t
+(** @raise Unsupported on e.g. a non-grouped column used alongside
+    aggregates, or ORDER BY expressions incompatible with DISTINCT. *)

@@ -1,0 +1,1 @@
+lib/nested/grouped.ml: Array Format Fun Hashtbl Link_pred List Nested_relation Nra_relational Relation Row Schema Three_valued Value

@@ -1,0 +1,1 @@
+lib/nested/grouped.mli: Format Link_pred Nested_relation Nra_relational Relation Row Schema

@@ -1,0 +1,1 @@
+lib/nested/link_pred.ml: Array Expr Format List Nra_relational Three_valued Value

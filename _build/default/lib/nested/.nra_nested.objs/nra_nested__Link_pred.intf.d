@@ -1,0 +1,1 @@
+lib/nested/link_pred.mli: Expr Format Nra_relational Row Three_valued

@@ -1,0 +1,1 @@
+lib/nested/linking.ml: Array Link_pred List Nested_relation Nra_relational Three_valued Value

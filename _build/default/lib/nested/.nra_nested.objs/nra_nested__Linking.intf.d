@@ -1,0 +1,1 @@
+lib/nested/linking.mli: Link_pred Nested_relation Nra_relational Three_valued

@@ -1,0 +1,1 @@
+lib/nested/nested_relation.ml: Array Format Hashtbl Int List Nra_relational Relation Row Schema Value

@@ -1,0 +1,1 @@
+lib/nested/nested_relation.mli: Format Nra_relational Relation Schema Value

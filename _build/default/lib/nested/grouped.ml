@@ -1,0 +1,129 @@
+open Nra_relational
+module T3 = Three_valued
+
+type t = {
+  key_schema : Schema.t;
+  elem_schema : Schema.t;
+  groups : (Row.t * Row.t array) array;
+}
+
+let schemas rel ~by ~keep =
+  let s = Relation.schema rel in
+  ( Schema.project s (Array.to_list by),
+    Schema.project s (Array.to_list keep) )
+
+let nest_sort ~by ~keep rel =
+  let key_schema, elem_schema = schemas rel ~by ~keep in
+  let sorted = Relation.sort_by by rel in
+  let rows = Relation.rows sorted in
+  let n = Array.length rows in
+  let groups = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let key = Row.project_arr rows.(start) by in
+    let elems = ref [] in
+    while !i < n && Row.equal_on by rows.(start) rows.(!i) do
+      elems := Row.project_arr rows.(!i) keep :: !elems;
+      incr i
+    done;
+    groups := (key, Array.of_list (List.rev !elems)) :: !groups
+  done;
+  { key_schema; elem_schema; groups = Array.of_list (List.rev !groups) }
+
+let nest_hash ~by ~keep rel =
+  let key_schema, elem_schema = schemas rel ~by ~keep in
+  let tbl : (int, Row.t * Row.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let key = Row.project_arr row by in
+      let elem = Row.project_arr row keep in
+      let h = Row.hash key in
+      let existing =
+        Hashtbl.find_all tbl h
+        |> List.find_opt (fun (k, _) -> Row.equal k key)
+      in
+      match existing with
+      | Some (_, cell) -> cell := elem :: !cell
+      | None ->
+          let cell = ref [ elem ] in
+          Hashtbl.add tbl h (key, cell);
+          order := (key, cell) :: !order)
+    (Relation.rows rel);
+  let groups =
+    List.rev_map
+      (fun (key, cell) -> (key, Array.of_list (List.rev !cell)))
+      !order
+  in
+  { key_schema; elem_schema; groups = Array.of_list groups }
+
+let cardinality t = Array.length t.groups
+
+let unnest t =
+  let schema = Schema.append t.key_schema t.elem_schema in
+  let out = ref [] in
+  Array.iter
+    (fun (key, elems) ->
+      Array.iter (fun e -> out := Row.concat key e :: !out) elems)
+    t.groups;
+  Relation.of_rows schema (List.rev !out)
+
+let to_nested t =
+  let flat = unnest t in
+  let karity = Schema.arity t.key_schema in
+  let earity = Schema.arity t.elem_schema in
+  Nested_relation.nest
+    ~by:(List.init karity Fun.id)
+    ~keep:(List.init earity (fun i -> karity + i))
+    (Nested_relation.of_flat flat)
+
+let equal a b =
+  let canon t =
+    Array.to_list t.groups
+    |> List.map (fun (k, es) ->
+           (k, List.sort Row.compare (Array.to_list es)))
+    |> List.sort (fun (k1, _) (k2, _) -> Row.compare k1 k2)
+  in
+  List.equal
+    (fun (k1, e1) (k2, e2) -> Row.equal k1 k2 && List.equal Row.equal e1 e2)
+    (canon a) (canon b)
+
+let eval_group pred ~marker (key, elems) =
+  let elems = Link_pred.filter_marker ~marker (Array.to_list elems) in
+  Link_pred.eval pred ~outer:key ~elems
+
+let select pred ~marker t =
+  let out = ref [] in
+  Array.iter
+    (fun g ->
+      if T3.to_bool (eval_group pred ~marker g) then out := fst g :: !out)
+    t.groups;
+  Relation.of_rows t.key_schema (List.rev !out)
+
+let pseudo_select pred ~marker ~pad t =
+  let out = ref [] in
+  Array.iter
+    (fun ((key, _) as g) ->
+      let row =
+        if T3.to_bool (eval_group pred ~marker g) then key
+        else begin
+          let padded = Array.copy key in
+          Array.iter (fun i -> padded.(i) <- Value.Null) pad;
+          padded
+        end
+      in
+      out := row :: !out)
+    t.groups;
+  Relation.of_rows t.key_schema (List.rev !out)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>nest %a keeping %a@,%a@]" Schema.pp t.key_schema
+    Schema.pp t.elem_schema
+    (Format.pp_print_list (fun ppf (k, es) ->
+         Format.fprintf ppf "%a -> {%a}" Row.pp k
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              Row.pp)
+           (Array.to_list es)))
+    (Array.to_list t.groups)

@@ -1,0 +1,38 @@
+open Nra_relational
+module T3 = Three_valued
+
+type quant = Some_ | All
+
+type t =
+  | Quant of Expr.scalar * T3.cmpop * quant * int
+  | Non_empty
+  | Is_empty
+
+let filter_marker ~marker elems =
+  match marker with
+  | None -> elems
+  | Some m -> List.filter (fun e -> not (Value.is_null e.(m))) elems
+
+let eval p ~outer ~elems =
+  match p with
+  | Non_empty -> T3.of_bool (elems <> [])
+  | Is_empty -> T3.of_bool (elems = [])
+  | Quant (a, op, q, b) ->
+      let x = Expr.eval_scalar outer a in
+      let one e = T3.cmp op x e.(b) in
+      (match q with
+      | Some_ -> T3.disj (List.map one elems)
+      | All -> T3.conj (List.map one elems))
+
+let is_positive = function
+  | Non_empty | Quant (_, _, Some_, _) -> true
+  | Is_empty | Quant (_, _, All, _) -> false
+
+let pp ppf = function
+  | Non_empty -> Format.pp_print_string ppf "{B} <> {}"
+  | Is_empty -> Format.pp_print_string ppf "{B} = {}"
+  | Quant (a, op, q, b) ->
+      Format.fprintf ppf "%a %s %s {#%d}" Expr.pp_scalar a
+        (T3.cmpop_to_string op)
+        (match q with Some_ -> "SOME" | All -> "ALL")
+        b

@@ -1,0 +1,48 @@
+(** Linking predicates — the paper's Definition 4.
+
+    A linking predicate compares an attribute of the outer (flat) part of
+    a nested tuple against the {e set} of values of an attribute of one
+    of its subrelations: [A θ SOME {B}], [A θ ALL {B}], or tests the set
+    for emptiness ([{B} = ∅] / [{B} ≠ ∅], the EXISTS forms).
+
+    SQL linking operators map onto these as:
+    - [IN]        → [= SOME];   [NOT IN] → [<> ALL]
+    - [θ ANY/SOME]→ [θ SOME];   [θ ALL]  → [θ ALL]
+    - [EXISTS]    → [≠ ∅];      [NOT EXISTS] → [= ∅]
+
+    Evaluation is three-valued: [x θ ALL ∅ = True], [x θ SOME ∅ = False],
+    and a NULL on either side of an element comparison contributes
+    Unknown — so [5 > ALL {2,3,4,NULL}] is Unknown, the motivating
+    example of the paper's Section 2.
+
+    The {e marker} discipline: after an outer join, a group that had no
+    join partner holds a single padded element whose carried primary key
+    is NULL.  Callers pass the marker position so such elements are
+    excluded from the set — this implements the paper's "∨ T.L is null"
+    side conditions and its rule that the linking selection "only
+    compares the linking attribute to the linked attribute whose
+    corresponding primary key is not null". *)
+
+open Nra_relational
+
+type quant = Some_ | All
+
+type t =
+  | Quant of Expr.scalar * Three_valued.cmpop * quant * int
+      (** [Quant (a, θ, q, b)]: [a] is evaluated on the outer frame; [b]
+          is the linked attribute's position in the element frame. *)
+  | Non_empty
+  | Is_empty
+
+val eval : t -> outer:Row.t -> elems:Row.t list -> Three_valued.t
+(** [elems] must already have marker-null padding elements removed. *)
+
+val filter_marker : marker:int option -> Row.t list -> Row.t list
+(** Drop elements whose marker position holds NULL ([None] keeps all). *)
+
+val is_positive : t -> bool
+(** Positive linking operators (EXISTS, SOME, IN) are satisfied only by
+    non-empty sets; negative ones (NOT EXISTS, ALL, NOT IN) are
+    satisfied by the empty set.  Drives the σ vs σ̄ choice. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+open Nra_relational
+
+type schema = {
+  atoms : Schema.column array;
+  subs : (string * schema) array;
+}
+
+type tuple = { avals : Value.t array; svals : t array }
+and t = { sch : schema; tuples : tuple list }
+
+let rec depth sch =
+  if Array.length sch.subs = 0 then 0
+  else
+    1
+    + Array.fold_left (fun d (_, s) -> max d (depth s)) 0 sch.subs
+
+let schema_of_flat s = { atoms = Schema.columns s; subs = [||] }
+
+let of_flat rel =
+  {
+    sch = schema_of_flat (Relation.schema rel);
+    tuples =
+      Array.to_list (Relation.rows rel)
+      |> List.map (fun row -> { avals = row; svals = [||] });
+  }
+
+let to_flat t =
+  if Array.length t.sch.subs <> 0 then
+    invalid_arg "Nested_relation.to_flat: relation is not flat";
+  Relation.of_rows
+    (Schema.of_columns (Array.to_list t.sch.atoms))
+    (List.map (fun tp -> tp.avals) t.tuples)
+
+(* Canonical recursive comparison: atoms first, then subrelations as
+   sorted duplicate-free lists. *)
+let rec compare_tuple a b =
+  let c = Row.compare a.avals b.avals in
+  if c <> 0 then c
+  else
+    let la = Array.length a.svals and lb = Array.length b.svals in
+    let rec go i =
+      if i >= la || i >= lb then Int.compare la lb
+      else
+        let c = compare_rel a.svals.(i) b.svals.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+and compare_rel a b =
+  let ca = canonical a and cb = canonical b in
+  List.compare compare_tuple ca cb
+
+and canonical r = List.sort_uniq compare_tuple r.tuples
+
+let equal a b = compare_rel a b = 0
+
+let check_positions sch ~by ~keep =
+  let n = Array.length sch.atoms in
+  let ok i = i >= 0 && i < n in
+  if not (List.for_all ok by && List.for_all ok keep) then
+    invalid_arg "Nested_relation.nest: atom position out of range";
+  if List.exists (fun i -> List.mem i keep) by then
+    invalid_arg "Nested_relation.nest: nesting and nested attributes overlap"
+
+let nest ?(name = "nested") ~by ~keep t =
+  check_positions t.sch ~by ~keep;
+  let elem_schema =
+    {
+      atoms = Array.of_list (List.map (fun i -> t.sch.atoms.(i)) keep);
+      subs = t.sch.subs;
+    }
+  in
+  let out_schema =
+    {
+      atoms = Array.of_list (List.map (fun i -> t.sch.atoms.(i)) by);
+      subs = [| (name, elem_schema) |];
+    }
+  in
+  let by_arr = Array.of_list by and keep_arr = Array.of_list keep in
+  (* group in order of first occurrence *)
+  let groups : (int, Row.t * tuple list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun tp ->
+      let key = Row.project_arr tp.avals by_arr in
+      let elem =
+        { avals = Row.project_arr tp.avals keep_arr; svals = tp.svals }
+      in
+      let h = Row.hash key in
+      let existing =
+        Hashtbl.find_all groups h
+        |> List.find_opt (fun (k, _) -> Row.equal k key)
+      in
+      match existing with
+      | Some (_, cell) -> cell := elem :: !cell
+      | None ->
+          let cell = ref [ elem ] in
+          Hashtbl.add groups h (key, cell);
+          order := (key, cell) :: !order)
+    t.tuples;
+  let tuples =
+    List.rev_map
+      (fun (key, cell) ->
+        let elems =
+          (* set semantics inside the nested component *)
+          List.sort_uniq compare_tuple (List.rev !cell)
+        in
+        {
+          avals = key;
+          svals = [| { sch = elem_schema; tuples = elems } |];
+        })
+      !order
+  in
+  { sch = out_schema; tuples }
+
+let unnest ~sub t =
+  if sub < 0 || sub >= Array.length t.sch.subs then
+    invalid_arg "Nested_relation.unnest: no such subrelation";
+  let _, sub_schema = t.sch.subs.(sub) in
+  let other_subs =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> sub) (Array.to_list t.sch.subs))
+  in
+  let out_schema =
+    {
+      atoms = Array.append t.sch.atoms sub_schema.atoms;
+      subs = Array.append other_subs sub_schema.subs;
+    }
+  in
+  let tuples =
+    List.concat_map
+      (fun tp ->
+        let others =
+          Array.of_list
+            (List.filteri (fun i _ -> i <> sub) (Array.to_list tp.svals))
+        in
+        List.map
+          (fun elem ->
+            {
+              avals = Array.append tp.avals elem.avals;
+              svals = Array.append others elem.svals;
+            })
+          tp.svals.(sub).tuples)
+      t.tuples
+  in
+  { sch = out_schema; tuples }
+
+let rec pp_tuple ppf tp =
+  Format.fprintf ppf "(@[%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_list tp.avals);
+  Array.iter
+    (fun sr ->
+      if Array.length tp.avals > 0 || Array.length tp.svals > 1 then
+        Format.fprintf ppf ",@ ";
+      pp_set ppf sr)
+    tp.svals;
+  Format.fprintf ppf "@])"
+
+and pp_set ppf r =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_tuple)
+    r.tuples
+
+let rec pp_schema ppf sch =
+  Format.fprintf ppf "(@[%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf c -> Format.pp_print_string ppf (Schema.qualified_name c)))
+    (Array.to_list sch.atoms);
+  Array.iter
+    (fun (name, s) ->
+      if Array.length sch.atoms > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s:%a" name pp_schema s)
+    sch.subs;
+  Format.fprintf ppf "@])"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@]" pp_schema t.sch
+    (Format.pp_print_list pp_tuple)
+    t.tuples

@@ -1,0 +1,1 @@
+lib/planner/analyze.ml: Array Catalog Format List Nra_relational Nra_sql Nra_storage Option Printf Resolved Schema Stdlib String Table Three_valued Value

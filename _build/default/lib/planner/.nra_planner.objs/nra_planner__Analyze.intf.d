@@ -1,0 +1,1 @@
+lib/planner/analyze.mli: Catalog Format Nra_relational Nra_sql Nra_storage Resolved Table Three_valued

@@ -1,0 +1,1 @@
+lib/planner/resolved.ml: Expr Format Int List Nra_relational Nra_sql Schema String Three_valued Value

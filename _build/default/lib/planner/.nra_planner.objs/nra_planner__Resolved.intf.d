@@ -1,0 +1,1 @@
+lib/planner/resolved.mli: Expr Format Nra_relational Nra_sql Schema Three_valued Value

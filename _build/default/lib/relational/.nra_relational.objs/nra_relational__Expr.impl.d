@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Either Format Int List Row String Three_valued Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Buffer Format Hashtbl List Printf Row Schema String Ttype Value

@@ -1,0 +1,1 @@
+lib/relational/three_valued.mli: Format Value

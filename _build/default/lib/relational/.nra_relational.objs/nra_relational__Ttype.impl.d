@@ -1,0 +1,1 @@
+lib/relational/ttype.ml: Format Value

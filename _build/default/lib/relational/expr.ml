@@ -1,0 +1,249 @@
+module T3 = Three_valued
+
+type scalar =
+  | Col of int
+  | Const of Value.t
+  | Add of scalar * scalar
+  | Sub of scalar * scalar
+  | Mul of scalar * scalar
+  | Div of scalar * scalar
+  | Neg of scalar
+
+type pred =
+  | Lit3 of T3.t
+  | Cmp of T3.cmpop * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Is_null of scalar
+  | Is_not_null of scalar
+  | In_list of scalar * Value.t list
+  | Between of scalar * scalar * scalar
+  | Like of scalar * string
+
+(* Greedy-with-backtracking LIKE matcher: '%' matches any run, '_' any
+   single character.  Patterns are short, so the worst-case exponential
+   backtracking is irrelevant in practice. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go i j =
+    if i >= np then j >= ns
+    else
+      match pattern.[i] with
+      | '%' -> go (i + 1) j || (j < ns && go i (j + 1))
+      | '_' -> j < ns && go (i + 1) (j + 1)
+      | c -> j < ns && s.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let rec eval_scalar row = function
+  | Col i -> row.(i)
+  | Const v -> v
+  | Add (a, b) -> Value.add (eval_scalar row a) (eval_scalar row b)
+  | Sub (a, b) -> Value.sub (eval_scalar row a) (eval_scalar row b)
+  | Mul (a, b) -> Value.mul (eval_scalar row a) (eval_scalar row b)
+  | Div (a, b) -> Value.div (eval_scalar row a) (eval_scalar row b)
+  | Neg a -> Value.neg (eval_scalar row a)
+
+let rec eval_pred row = function
+  | Lit3 t -> t
+  | Cmp (op, a, b) -> T3.cmp op (eval_scalar row a) (eval_scalar row b)
+  | And (a, b) -> T3.and_ (eval_pred row a) (eval_pred row b)
+  | Or (a, b) -> T3.or_ (eval_pred row a) (eval_pred row b)
+  | Not a -> T3.not_ (eval_pred row a)
+  | Is_null a -> T3.of_bool (Value.is_null (eval_scalar row a))
+  | Is_not_null a -> T3.of_bool (not (Value.is_null (eval_scalar row a)))
+  | In_list (a, vs) ->
+      let x = eval_scalar row a in
+      T3.disj (List.map (fun v -> T3.cmp T3.Eq x v) vs)
+  | Between (a, lo, hi) ->
+      let x = eval_scalar row a in
+      T3.and_
+        (T3.cmp T3.Ge x (eval_scalar row lo))
+        (T3.cmp T3.Le x (eval_scalar row hi))
+  | Like (a, pattern) -> (
+      match eval_scalar row a with
+      | Value.Null -> T3.Unknown
+      | Value.String s -> T3.of_bool (like_match ~pattern s)
+      | v ->
+          raise
+            (Value.Type_error
+               ("LIKE on a non-string value: " ^ Value.to_string v)))
+
+let holds p row = T3.to_bool (eval_pred row p)
+
+let true_ = Lit3 T3.True
+
+let conj = function
+  | [] -> true_
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Lit3 T3.True -> []
+  | p -> [ p ]
+
+let rec scalar_cols_acc acc = function
+  | Col i -> i :: acc
+  | Const _ -> acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      scalar_cols_acc (scalar_cols_acc acc a) b
+  | Neg a -> scalar_cols_acc acc a
+
+let rec pred_cols_acc acc = function
+  | Lit3 _ -> acc
+  | Cmp (_, a, b) -> scalar_cols_acc (scalar_cols_acc acc a) b
+  | And (a, b) | Or (a, b) -> pred_cols_acc (pred_cols_acc acc a) b
+  | Not a -> pred_cols_acc acc a
+  | Is_null a | Is_not_null a | In_list (a, _) | Like (a, _) ->
+      scalar_cols_acc acc a
+  | Between (a, lo, hi) ->
+      scalar_cols_acc (scalar_cols_acc (scalar_cols_acc acc a) lo) hi
+
+let scalar_cols s = List.sort_uniq Int.compare (scalar_cols_acc [] s)
+let pred_cols p = List.sort_uniq Int.compare (pred_cols_acc [] p)
+
+let rec remap_scalar f = function
+  | Col i -> Col (f i)
+  | Const v -> Const v
+  | Add (a, b) -> Add (remap_scalar f a, remap_scalar f b)
+  | Sub (a, b) -> Sub (remap_scalar f a, remap_scalar f b)
+  | Mul (a, b) -> Mul (remap_scalar f a, remap_scalar f b)
+  | Div (a, b) -> Div (remap_scalar f a, remap_scalar f b)
+  | Neg a -> Neg (remap_scalar f a)
+
+let rec remap_pred f = function
+  | Lit3 t -> Lit3 t
+  | Cmp (op, a, b) -> Cmp (op, remap_scalar f a, remap_scalar f b)
+  | And (a, b) -> And (remap_pred f a, remap_pred f b)
+  | Or (a, b) -> Or (remap_pred f a, remap_pred f b)
+  | Not a -> Not (remap_pred f a)
+  | Is_null a -> Is_null (remap_scalar f a)
+  | Is_not_null a -> Is_not_null (remap_scalar f a)
+  | In_list (a, vs) -> In_list (remap_scalar f a, vs)
+  | Between (a, lo, hi) ->
+      Between (remap_scalar f a, remap_scalar f lo, remap_scalar f hi)
+  | Like (a, pattern) -> Like (remap_scalar f a, pattern)
+
+let shift_scalar off = remap_scalar (fun i -> i + off)
+let shift_pred off = remap_pred (fun i -> i + off)
+
+let split_equi ~left_arity p =
+  let is_left i = i < left_arity in
+  let classify = function
+    | Cmp (T3.Eq, Col i, Col j) when is_left i && not (is_left j) ->
+        Either.Left (i, j - left_arity)
+    | Cmp (T3.Eq, Col j, Col i) when is_left i && not (is_left j) ->
+        Either.Left (i, j - left_arity)
+    | c -> Either.Right c
+  in
+  List.partition_map classify (conjuncts p)
+
+(* ---------- constant folding ---------- *)
+
+let dummy_row : Row.t = [||]
+
+let rec fold_scalar s =
+  match s with
+  | Col _ | Const _ -> s
+  | Add (a, b) -> fold_binary (fun x y -> Add (x, y)) a b
+  | Sub (a, b) -> fold_binary (fun x y -> Sub (x, y)) a b
+  | Mul (a, b) -> fold_binary (fun x y -> Mul (x, y)) a b
+  | Div (a, b) -> fold_binary (fun x y -> Div (x, y)) a b
+  | Neg a -> (
+      match fold_scalar a with
+      | Const v as c -> (
+          match Value.neg v with
+          | v' -> Const v'
+          | exception Value.Type_error _ -> Neg c)
+      | a' -> Neg a')
+
+and fold_binary rebuild a b =
+  let a = fold_scalar a and b = fold_scalar b in
+  match (a, b) with
+  | Const _, Const _ -> (
+      let e = rebuild a b in
+      match eval_scalar dummy_row e with
+      | v -> Const v
+      | exception Value.Type_error _ -> e)
+  | _ -> rebuild a b
+
+let rec fold_pred p =
+  match p with
+  | Lit3 _ -> p
+  | Cmp (op, a, b) -> (
+      match (fold_scalar a, fold_scalar b) with
+      | (Const _ as a'), (Const _ as b') ->
+          Lit3 (eval_pred dummy_row (Cmp (op, a', b')))
+      | a', b' -> Cmp (op, a', b'))
+  | And (a, b) -> (
+      match (fold_pred a, fold_pred b) with
+      | Lit3 T3.True, q | q, Lit3 T3.True -> q
+      | (Lit3 T3.False as f), _ | _, (Lit3 T3.False as f) -> f
+      | Lit3 x, Lit3 y -> Lit3 (T3.and_ x y)
+      | a', b' -> And (a', b'))
+  | Or (a, b) -> (
+      match (fold_pred a, fold_pred b) with
+      | Lit3 T3.False, q | q, Lit3 T3.False -> q
+      | (Lit3 T3.True as t), _ | _, (Lit3 T3.True as t) -> t
+      | Lit3 x, Lit3 y -> Lit3 (T3.or_ x y)
+      | a', b' -> Or (a', b'))
+  | Not a -> (
+      match fold_pred a with
+      | Lit3 x -> Lit3 (T3.not_ x)
+      | a' -> Not a')
+  | Is_null a -> (
+      match fold_scalar a with
+      | Const v -> Lit3 (T3.of_bool (Value.is_null v))
+      | a' -> Is_null a')
+  | Is_not_null a -> (
+      match fold_scalar a with
+      | Const v -> Lit3 (T3.of_bool (not (Value.is_null v)))
+      | a' -> Is_not_null a')
+  | In_list (a, vs) -> (
+      match fold_scalar a with
+      | Const _ as a' -> Lit3 (eval_pred dummy_row (In_list (a', vs)))
+      | a' -> In_list (a', vs))
+  | Between (a, lo, hi) -> (
+      match (fold_scalar a, fold_scalar lo, fold_scalar hi) with
+      | (Const _ as a'), (Const _ as lo'), (Const _ as hi') ->
+          Lit3 (eval_pred dummy_row (Between (a', lo', hi')))
+      | a', lo', hi' -> Between (a', lo', hi'))
+  | Like (a, pattern) -> (
+      match fold_scalar a with
+      | Const (Value.String _ | Value.Null) as a' -> (
+          match eval_pred dummy_row (Like (a', pattern)) with
+          | t -> Lit3 t
+          | exception Value.Type_error _ -> Like (a', pattern))
+      | a' -> Like (a', pattern))
+
+let rec pp_scalar ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Const v -> Value.pp ppf v
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_scalar a pp_scalar b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_scalar a pp_scalar b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_scalar a pp_scalar b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp_scalar a pp_scalar b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp_scalar a
+
+let rec pp_pred ppf = function
+  | Lit3 t -> T3.pp ppf t
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_scalar a (T3.cmpop_to_string op)
+        pp_scalar b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp_pred a
+  | Is_null a -> Format.fprintf ppf "%a IS NULL" pp_scalar a
+  | Is_not_null a -> Format.fprintf ppf "%a IS NOT NULL" pp_scalar a
+  | In_list (a, vs) ->
+      Format.fprintf ppf "%a IN (%a)" pp_scalar a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Value.pp)
+        vs
+  | Between (a, lo, hi) ->
+      Format.fprintf ppf "%a BETWEEN %a AND %a" pp_scalar a pp_scalar lo
+        pp_scalar hi
+  | Like (a, pattern) ->
+      Format.fprintf ppf "%a LIKE '%s'" pp_scalar a pattern

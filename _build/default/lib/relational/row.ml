@@ -1,0 +1,46 @@
+type t = Value.t array
+
+let project row idxs = Array.of_list (List.map (fun i -> row.(i)) idxs)
+let project_arr row idxs = Array.map (fun i -> row.(i)) idxs
+let concat = Array.append
+let nulls n = Array.make n Value.Null
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let hash row =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
+
+let compare_on idxs a b =
+  let n = Array.length idxs in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Value.compare a.(idxs.(i)) b.(idxs.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal_on idxs a b = compare_on idxs a b = 0
+
+let hash_on idxs row =
+  Array.fold_left (fun acc i -> (acc * 31) + Value.hash row.(i)) 17 idxs
+
+let has_null_on idxs row =
+  Array.exists (fun i -> Value.is_null row.(i)) idxs
+
+let pp ppf row =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_list row)

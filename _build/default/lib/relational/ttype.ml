@@ -1,0 +1,28 @@
+(** Column types.  The engine is dynamically checked (values carry their
+    own type); declared column types drive the data generator, the CSV
+    reader and error messages. *)
+
+type t = Bool | Int | Float | String | Date
+
+let to_string = function
+  | Bool -> "bool"
+  | Int -> "int"
+  | Float -> "float"
+  | String -> "string"
+  | Date -> "date"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+(** [admits ty v] — does value [v] inhabit type [ty]?  [Null] inhabits
+    every type; ints are accepted where floats are declared. *)
+let admits ty (v : Value.t) =
+  match (ty, v) with
+  | _, Value.Null -> true
+  | Bool, Value.Bool _ -> true
+  | Int, Value.Int _ -> true
+  | Float, (Value.Float _ | Value.Int _) -> true
+  | String, Value.String _ -> true
+  | Date, Value.Date _ -> true
+  | _ -> false

@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Format List Nra_relational Option String Three_valued Ttype Value

@@ -1,0 +1,1 @@
+lib/sql/ast.mli: Format Nra_relational Three_valued Ttype Value

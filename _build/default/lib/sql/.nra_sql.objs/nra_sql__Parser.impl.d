@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Format Lexer List Nra_relational Option Printf Three_valued Ttype Value

@@ -1,0 +1,247 @@
+open Nra_relational
+
+type cmpop = Three_valued.cmpop
+
+type quantifier = Any | All
+
+type binop = Add | Sub | Mul | Div
+
+type agg_func = Count_star | Count | Sum | Avg | Min | Max
+
+type expr =
+  | Col of string option * string
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Agg of agg_func * expr option
+
+type select_item =
+  | Star
+  | Table_star of string
+  | Sel_expr of expr * string option
+
+type cond =
+  | True_
+  | Cmp of cmpop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Is_null of expr
+  | Is_not_null of expr
+  | Between of expr * expr * expr
+  | In_list of expr * Value.t list
+  | Like of expr * string
+  | Exists of query
+  | Not_exists of query
+  | In_query of expr * query
+  | Not_in_query of expr * query
+  | Quant_cmp of expr * cmpop * quantifier * query
+  | Scalar_cmp of expr * cmpop * query
+
+and query = {
+  distinct : bool;
+  select : select_item list;
+  from : (string * string option) list;
+  where : cond option;
+  group_by : expr list;
+  having : cond option;
+  order_by : (expr * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+let simple_query ?(distinct = false) ~select ~from ?where () =
+  {
+    distinct;
+    select;
+    from;
+    where;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+  }
+
+let rec subqueries = function
+  | True_ | Cmp _ | Is_null _ | Is_not_null _ | Between _ | In_list _
+  | Like _ ->
+      []
+  | And (a, b) | Or (a, b) -> subqueries a @ subqueries b
+  | Not a -> subqueries a
+  | Exists q | Not_exists q | In_query (_, q) | Not_in_query (_, q)
+  | Quant_cmp (_, _, _, q)
+  | Scalar_cmp (_, _, q) ->
+      [ q ]
+
+let rec query_depth q =
+  let conds =
+    Option.to_list q.where @ Option.to_list q.having
+  in
+  let subs = List.concat_map subqueries conds in
+  match subs with
+  | [] -> 0
+  | _ -> 1 + List.fold_left (fun d s -> max d (query_depth s)) 0 subs
+
+let is_flat q = query_depth q = 0
+
+let rec cond_conjuncts = function
+  | And (a, b) -> cond_conjuncts a @ cond_conjuncts b
+  | True_ -> []
+  | c -> [ c ]
+
+(* -------- printing -------- *)
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let agg_str = function
+  | Count_star | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let pp_lit ppf (v : Value.t) =
+  match v with
+  | Value.Date d -> Format.fprintf ppf "date '%s'" (Value.string_of_date d)
+  | Value.Null -> Format.pp_print_string ppf "null"
+  | _ -> Value.pp ppf v
+
+let rec pp_expr ppf = function
+  | Col (None, n) -> Format.pp_print_string ppf n
+  | Col (Some t, n) -> Format.fprintf ppf "%s.%s" t n
+  | Lit v -> pp_lit ppf v
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp_expr a
+  | Agg (Count_star, _) -> Format.pp_print_string ppf "count(*)"
+  | Agg (f, e) ->
+      Format.fprintf ppf "%s(%a)" (agg_str f)
+        (fun ppf -> function
+          | None -> Format.pp_print_string ppf "*"
+          | Some e -> pp_expr ppf e)
+        e
+
+let pp_select_item ppf = function
+  | Star -> Format.pp_print_string ppf "*"
+  | Table_star t -> Format.fprintf ppf "%s.*" t
+  | Sel_expr (e, None) -> pp_expr ppf e
+  | Sel_expr (e, Some a) -> Format.fprintf ppf "%a as %s" pp_expr e a
+
+let rec pp_cond ppf = function
+  | True_ -> Format.pp_print_string ppf "true"
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_expr a
+        (Three_valued.cmpop_to_string op)
+        pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_cond a pp_cond b
+  | Not a -> Format.fprintf ppf "(not %a)" pp_cond a
+  | Is_null e -> Format.fprintf ppf "%a is null" pp_expr e
+  | Is_not_null e -> Format.fprintf ppf "%a is not null" pp_expr e
+  | Between (e, lo, hi) ->
+      Format.fprintf ppf "%a between %a and %a" pp_expr e pp_expr lo
+        pp_expr hi
+  | Like (e, pattern) ->
+      Format.fprintf ppf "%a like '%s'" pp_expr e
+        (String.concat "''" (String.split_on_char '\'' pattern))
+  | In_list (e, vs) ->
+      Format.fprintf ppf "%a in (%a)" pp_expr e
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_lit)
+        vs
+  | Exists q -> Format.fprintf ppf "exists %a" pp_subquery q
+  | Not_exists q -> Format.fprintf ppf "not exists %a" pp_subquery q
+  | In_query (e, q) -> Format.fprintf ppf "%a in %a" pp_expr e pp_subquery q
+  | Not_in_query (e, q) ->
+      Format.fprintf ppf "%a not in %a" pp_expr e pp_subquery q
+  | Quant_cmp (e, op, quant, q) ->
+      Format.fprintf ppf "%a %s %s %a" pp_expr e
+        (Three_valued.cmpop_to_string op)
+        (match quant with Any -> "any" | All -> "all")
+        pp_subquery q
+  | Scalar_cmp (e, op, q) ->
+      Format.fprintf ppf "%a %s %a" pp_expr e
+        (Three_valued.cmpop_to_string op)
+        pp_subquery q
+
+and pp_subquery ppf q = Format.fprintf ppf "(@[<hv>%a@])" pp_query q
+
+and pp_query ppf q =
+  Format.fprintf ppf "select %s%a"
+    (if q.distinct then "distinct " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_select_item)
+    q.select;
+  Format.fprintf ppf "@ from %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (t, alias) ->
+         match alias with
+         | None -> Format.pp_print_string ppf t
+         | Some a -> Format.fprintf ppf "%s %s" t a))
+    q.from;
+  Option.iter (fun w -> Format.fprintf ppf "@ where %a" pp_cond w) q.where;
+  (match q.group_by with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf "@ group by %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        gs);
+  Option.iter (fun h -> Format.fprintf ppf "@ having %a" pp_cond h) q.having;
+  (match q.order_by with
+  | [] -> ()
+  | os ->
+      Format.fprintf ppf "@ order by %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (e, dir) ->
+             Format.fprintf ppf "%a%s" pp_expr e
+               (match dir with `Asc -> "" | `Desc -> " desc")))
+        os);
+  Option.iter (fun n -> Format.fprintf ppf "@ limit %d" n) q.limit
+
+let to_string q = Format.asprintf "@[<hv>%a@]" pp_query q
+
+type setop = { op : [ `Union | `Intersect | `Except ]; all : bool }
+
+type statement =
+  | Select of query
+  | Setop of setop * statement * statement
+
+let setop_str { op; all } =
+  (match op with
+  | `Union -> "union"
+  | `Intersect -> "intersect"
+  | `Except -> "except")
+  ^ if all then " all" else ""
+
+let rec pp_statement ppf = function
+  | Select q -> pp_query ppf q
+  | Setop (op, l, r) ->
+      Format.fprintf ppf "(%a)@ %s@ (%a)" pp_statement l (setop_str op)
+        pp_statement r
+
+let statement_to_string s = Format.asprintf "@[<hv>%a@]" pp_statement s
+
+type column_def = {
+  cd_name : string;
+  cd_type : Ttype.t;
+  cd_not_null : bool;
+}
+
+type command =
+  | Cmd_query of statement
+  | Create_table of {
+      table : string;
+      columns : column_def list;
+      key : string list;
+    }
+  | Drop_table of string
+  | Insert_values of string * Value.t list list
+  | Insert_select of string * statement
+  | Delete of string * cond option
+  | With_query of (string * statement) list * statement
+  | Update of string * (string * expr) list * cond option

@@ -1,0 +1,23 @@
+(** Hand-written SQL lexer.
+
+    Keywords are case-insensitive; identifiers are lower-cased.  String
+    literals use single quotes with [''] escaping.  [--] starts a
+    line comment. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string        (** recognized keyword, lower-cased *)
+  | OP of string        (** one of [= <> != < <= > >= + - * / . , ( )] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+val tokenize : string -> token list
+
+val keywords : string list
+(** The recognized keyword set (lower-case). *)
+
+val pp_token : Format.formatter -> token -> unit

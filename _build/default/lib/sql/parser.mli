@@ -1,0 +1,30 @@
+(** Recursive-descent parser for the SQL subset of {!Ast}. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** A single SELECT query.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+
+val parse_result : string -> (Ast.query, string) result
+(** Error-returning variant; lex and parse errors become messages. *)
+
+val parse_statement : string -> Ast.statement
+(** A statement: SELECT queries combined with
+    [UNION / INTERSECT / EXCEPT [ALL]] (INTERSECT binds tighter;
+    parentheses override).  Subqueries remain plain SELECTs. *)
+
+val parse_statement_result : string -> (Ast.statement, string) result
+
+val parse_command : string -> Ast.command
+(** A statement, or DDL/DML:
+    [CREATE TABLE t (c TYPE [NOT NULL] …, PRIMARY KEY (c, …))] with
+    types INT(EGER) / FLOAT / REAL / DOUBLE / STRING / TEXT / VARCHAR /
+    BOOL(EAN) / DATE; [DROP TABLE t];
+    [INSERT INTO t VALUES (lit, …), …] or [INSERT INTO t SELECT …];
+    [DELETE FROM t [WHERE …]]. *)
+
+val parse_command_result : string -> (Ast.command, string) result
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone scalar expression (used by tests). *)

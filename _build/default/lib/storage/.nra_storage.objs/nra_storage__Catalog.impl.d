@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Array Format Hash_index Hashtbl Int List Nra_relational Option Printf Relation Row Schema Sorted_index String Table

@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Format Hash_index Nra_relational Row Sorted_index Table

@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Array Hashtbl List Nra_relational Relation Row Value

@@ -1,0 +1,1 @@
+lib/storage/iosim.ml: Hashtbl Lru

@@ -1,0 +1,1 @@
+lib/storage/sorted_index.ml: Array Int List Nra_relational Relation Row Value

@@ -1,0 +1,1 @@
+lib/storage/sorted_index.mli: Nra_relational Relation Row Value

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Format List Nra_relational Printf Relation Schema

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Format Nra_relational Relation Row Schema

@@ -1,0 +1,147 @@
+open Nra_relational
+
+type indexes = {
+  mutable hash : (string list * Hash_index.t) list;
+      (* column names (index order) * index *)
+  mutable sorted : (string list * Sorted_index.t) list;
+}
+
+type entry = { table : Table.t; idx : indexes }
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let positions_of table cols =
+  let schema = Table.schema table in
+  List.map
+    (fun c ->
+      match Schema.find_opt schema c with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Printf.sprintf "index on %s: unknown column %s"
+               (Table.name table) c))
+    cols
+  |> Array.of_list
+
+let register t table =
+  let name = Table.name table in
+  let idx = { hash = []; sorted = [] } in
+  let key_cols = Table.key_columns table in
+  idx.hash <-
+    [ (key_cols, Hash_index.build (Table.relation table)
+                   (Table.key_positions table)) ];
+  Hashtbl.replace t name { table; idx }
+
+(* exposed below, used by DML *)
+
+let entry t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let check_key_unique table =
+  let keys = Table.key_positions table in
+  let rows = Relation.rows (Table.relation table) in
+  let seen = Hashtbl.create (Array.length rows) in
+  Array.iter
+    (fun row ->
+      let k = Row.project_arr row keys in
+      let h = Row.hash k in
+      if Hashtbl.find_all seen h |> List.exists (Row.equal k) then
+        invalid_arg
+          (Printf.sprintf "table %s: duplicate primary key %s"
+             (Table.name table)
+             (Format.asprintf "%a" Row.pp k));
+      Hashtbl.add seen h k)
+    rows
+
+let update_rows t name rows =
+  let e = entry t name in
+  let table = Table.with_rows e.table rows in
+  check_key_unique table;
+  let rel = Table.relation table in
+  let hash =
+    List.map (fun (cols, _) -> (cols, Hash_index.build rel (positions_of table cols)))
+      e.idx.hash
+  in
+  let sorted =
+    List.map
+      (fun (cols, _) -> (cols, Sorted_index.build rel (positions_of table cols)))
+      e.idx.sorted
+  in
+  Hashtbl.replace t name { table; idx = { hash; sorted } }
+
+let drop_table t name =
+  if not (Hashtbl.mem t name) then raise Not_found;
+  Hashtbl.remove t name
+
+let table t name = (entry t name).table
+let table_opt t name = Option.map (fun e -> e.table) (Hashtbl.find_opt t name)
+let mem t name = Hashtbl.mem t name
+
+let tables t =
+  Hashtbl.fold (fun _ e acc -> e.table :: acc) t []
+  |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
+
+let create_hash_index t ~table:name cols =
+  let e = entry t name in
+  if not (List.mem_assoc cols e.idx.hash) then
+    e.idx.hash <-
+      (cols, Hash_index.build (Table.relation e.table)
+               (positions_of e.table cols))
+      :: e.idx.hash
+
+let create_sorted_index t ~table:name cols =
+  let e = entry t name in
+  if not (List.mem_assoc cols e.idx.sorted) then
+    e.idx.sorted <-
+      (cols, Sorted_index.build (Table.relation e.table)
+               (positions_of e.table cols))
+      :: e.idx.sorted
+
+let same_set a b =
+  List.sort String.compare a = List.sort String.compare b
+
+let hash_index t ~table:name cols =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some e ->
+      List.find_opt (fun (ic, _) -> same_set ic cols) e.idx.hash
+      |> Option.map snd
+
+let hash_index_covering t ~table:name cols =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some e ->
+      let subset ic = ic <> [] && List.for_all (fun c -> List.mem c cols) ic in
+      e.idx.hash
+      |> List.filter (fun (ic, _) -> subset ic)
+      |> List.sort (fun (a, _) (b, _) ->
+             Int.compare (List.length b) (List.length a))
+      |> (function
+           | [] -> None
+           | (ic, i) :: _ -> Some (i, ic))
+
+let sorted_index_on t ~table:name col =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some e ->
+      List.find_opt
+        (fun (ic, _) -> match ic with c :: _ -> c = col | [] -> false)
+        e.idx.sorted
+      |> Option.map snd
+
+let drop_indexes t ~table:name =
+  let e = entry t name in
+  let key_cols = Table.key_columns e.table in
+  e.idx.hash <- List.filter (fun (ic, _) -> same_set ic key_cols) e.idx.hash;
+  e.idx.sorted <- []
+
+let pp ppf t =
+  let ts = tables t in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf tb ->
+         Format.fprintf ppf "%s (%d rows) %a" (Table.name tb)
+           (Table.cardinality tb) Schema.pp (Table.schema tb)))
+    ts

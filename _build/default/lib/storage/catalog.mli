@@ -1,0 +1,58 @@
+(** The catalog: a mutable registry of tables and their indexes.
+
+    Indexes are named by the table and column list they cover; the
+    executors look indexes up by coverage, mirroring how the paper's
+    "System A" picks an index on the correlated/linked attributes when
+    one exists.  Primary-key hash indexes are built automatically on
+    registration. *)
+
+open Nra_relational
+
+type t
+
+val create : unit -> t
+
+val register : t -> Table.t -> unit
+(** Add (or replace) a table; builds its primary-key hash index.
+    Existing secondary indexes of a replaced table are dropped. *)
+
+val update_rows : t -> string -> Row.t array -> unit
+(** Replace a table's contents (revalidating types, NOT NULL and key
+    uniqueness) and rebuild {e all} its indexes, secondary ones
+    included.  The DML path.
+    @raise Not_found if the table is absent
+    @raise Invalid_argument if the rows violate the schema or duplicate
+    a primary key. *)
+
+val drop_table : t -> string -> unit
+(** @raise Not_found if absent. *)
+
+val table : t -> string -> Table.t
+(** @raise Not_found if absent. *)
+
+val table_opt : t -> string -> Table.t option
+val tables : t -> Table.t list
+val mem : t -> string -> bool
+
+(** {1 Indexes} *)
+
+val create_hash_index : t -> table:string -> string list -> unit
+val create_sorted_index : t -> table:string -> string list -> unit
+
+val hash_index : t -> table:string -> string list -> Hash_index.t option
+(** Look up a hash index on exactly these columns (order-insensitive). *)
+
+val hash_index_covering : t -> table:string -> string list ->
+  (Hash_index.t * string list) option
+(** A hash index whose column set is a non-empty subset of the given
+    columns — usable for a partial-key probe followed by a residual
+    filter.  Prefers the widest such index.  Returns the index and its
+    column list in index position order. *)
+
+val sorted_index_on : t -> table:string -> string -> Sorted_index.t option
+(** A sorted index whose first column is the given one. *)
+
+val drop_indexes : t -> table:string -> unit
+(** Drop secondary indexes (keeps the automatic primary-key index). *)
+
+val pp : Format.formatter -> t -> unit

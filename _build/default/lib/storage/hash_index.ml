@@ -1,0 +1,37 @@
+open Nra_relational
+
+(* The table maps the hash of the key projection to (key, id) pairs; we
+   re-check key equality on probe to survive collisions. *)
+
+type t = {
+  positions : int array;
+  tbl : (int, Row.t * int) Hashtbl.t;
+}
+
+let build rel positions =
+  let rows = Relation.rows rel in
+  let tbl = Hashtbl.create (max 16 (Array.length rows)) in
+  Array.iteri
+    (fun id row ->
+      if not (Row.has_null_on positions row) then begin
+        let key = Row.project_arr row positions in
+        Hashtbl.add tbl (Row.hash key) (key, id)
+      end)
+    rows;
+  { positions; tbl }
+
+let positions t = t.positions
+
+let probe t key_row =
+  if Array.exists Value.is_null key_row then []
+  else
+    Hashtbl.find_all t.tbl (Row.hash key_row)
+    |> List.filter_map (fun (k, id) ->
+           if Row.equal k key_row then Some id else None)
+    |> List.rev (* find_all returns most-recent first; restore row order *)
+
+let probe_rows t rel key_row =
+  let rows = Relation.rows rel in
+  List.map (fun id -> rows.(id)) (probe t key_row)
+
+let cardinality t = Hashtbl.length t.tbl

@@ -1,0 +1,27 @@
+(** Equality indexes: key projection of a relation → row ids.
+
+    Rows whose key contains a NULL are not indexed (an equality probe can
+    never match them — SQL equi-semantics).  Used by the nested-iteration
+    baseline to model "System A accesses the inner table by index rowid",
+    and by hash joins. *)
+
+open Nra_relational
+
+type t
+
+val build : Relation.t -> int array -> t
+(** [build rel positions] indexes [rel] on the given column positions. *)
+
+val positions : t -> int array
+
+val probe : t -> Row.t -> int list
+(** [probe idx key_row] returns ids of rows whose key equals [key_row]
+    (a row containing exactly the key values, in index position order).
+    A probe containing NULL returns []. *)
+
+val probe_rows : t -> Relation.t -> Row.t -> Row.t list
+(** Convenience: probe and materialize the matching rows of [rel] (which
+    must be the indexed relation). *)
+
+val cardinality : t -> int
+(** Number of indexed entries. *)

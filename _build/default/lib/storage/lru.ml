@@ -1,0 +1,69 @@
+(* Classic hashtable + doubly-linked list.  Nodes are mutable records;
+   the list is kept in recency order with [head] the most recent. *)
+
+type node = {
+  page : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  tbl : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable size : int;
+}
+
+let create ~capacity =
+  { capacity; tbl = Hashtbl.create 64; head = None; tail = None; size = 0 }
+
+let capacity t = t.capacity
+let size t = t.size
+let mem t page = Hashtbl.mem t.tbl page
+
+let detach t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      detach t n;
+      Hashtbl.remove t.tbl n.page;
+      t.size <- t.size - 1
+
+let touch t page =
+  if t.capacity <= 0 then false
+  else
+    match Hashtbl.find_opt t.tbl page with
+    | Some n ->
+        detach t n;
+        push_front t n;
+        true
+    | None ->
+        let n = { page; prev = None; next = None } in
+        Hashtbl.replace t.tbl page n;
+        push_front t n;
+        t.size <- t.size + 1;
+        if t.size > t.capacity then evict_lru t;
+        false
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

@@ -1,0 +1,19 @@
+(** A fixed-capacity LRU set of page identifiers — the buffer-cache
+    model of {!Iosim}.  O(1) hit/insert/evict. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity <= 0] means "always miss" (caching disabled). *)
+
+val touch : t -> int -> bool
+(** [touch t page] returns whether [page] was resident (a cache hit),
+    and in all cases makes it the most recently used entry, evicting the
+    least recently used one if the capacity is exceeded. *)
+
+val mem : t -> int -> bool
+(** Residency test without promoting. *)
+
+val size : t -> int
+val capacity : t -> int
+val clear : t -> unit

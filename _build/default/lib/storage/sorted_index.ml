@@ -1,0 +1,73 @@
+open Nra_relational
+
+type t = {
+  positions : int array;
+  entries : (Row.t * int) array; (* sorted by key, then id for stability *)
+}
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+let build rel positions =
+  let rows = Relation.rows rel in
+  let acc = ref [] in
+  Array.iteri
+    (fun id row ->
+      if not (Row.has_null_on positions row) then
+        acc := (Row.project_arr row positions, id) :: !acc)
+    rows;
+  let entries = Array.of_list !acc in
+  Array.sort
+    (fun (k1, id1) (k2, id2) ->
+      let c = Row.compare k1 k2 in
+      if c <> 0 then c else Int.compare id1 id2)
+    entries;
+  { positions; entries }
+
+let positions t = t.positions
+let cardinality t = Array.length t.entries
+
+(* First index whose entry satisfies [above]; entries are sorted so the
+   predicate is monotone (a run of false then a run of true). *)
+let lower_bound t above =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if above (fst t.entries.(mid)) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let first_key_cmp key v = Value.compare key.(0) v
+
+let range t ~lo ~hi =
+  let n = Array.length t.entries in
+  let start =
+    match lo with
+    | Unbounded -> 0
+    | Incl v -> lower_bound t (fun k -> first_key_cmp k v >= 0)
+    | Excl v -> lower_bound t (fun k -> first_key_cmp k v > 0)
+  in
+  let stop =
+    match hi with
+    | Unbounded -> n
+    | Incl v -> lower_bound t (fun k -> first_key_cmp k v > 0)
+    | Excl v -> lower_bound t (fun k -> first_key_cmp k v >= 0)
+  in
+  let acc = ref [] in
+  for i = stop - 1 downto start do
+    acc := snd t.entries.(i) :: !acc
+  done;
+  !acc
+
+let probe t key_row =
+  if Array.exists Value.is_null key_row then []
+  else begin
+    let start = lower_bound t (fun k -> Row.compare k key_row >= 0) in
+    let acc = ref [] in
+    let i = ref start in
+    let n = Array.length t.entries in
+    while !i < n && Row.equal (fst t.entries.(!i)) key_row do
+      acc := snd t.entries.(!i) :: !acc;
+      incr i
+    done;
+    List.rev !acc
+  end

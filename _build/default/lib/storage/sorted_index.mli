@@ -1,0 +1,23 @@
+(** Range (B+-tree-like) indexes: a sorted array of key projections with
+    binary search.  Supports point and range probes over a single column
+    or a column prefix.  NULL keys are excluded, as in {!Hash_index}. *)
+
+open Nra_relational
+
+type t
+
+val build : Relation.t -> int array -> t
+
+val positions : t -> int array
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+val range : t -> lo:bound -> hi:bound -> int list
+(** Row ids whose {e first} key column falls in the interval, in key
+    order.  For multi-column indexes the remaining columns only break
+    ties. *)
+
+val probe : t -> Row.t -> int list
+(** Exact-match on the full key, in key order. *)
+
+val cardinality : t -> int

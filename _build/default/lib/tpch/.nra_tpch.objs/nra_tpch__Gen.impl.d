@@ -1,0 +1,1 @@
+lib/tpch/gen.ml: Array Catalog List Nra_relational Nra_storage Printf Prng Schema Table Ttype Value

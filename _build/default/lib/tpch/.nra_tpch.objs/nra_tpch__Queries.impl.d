@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Gen Nra_relational Printf Value

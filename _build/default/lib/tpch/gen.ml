@@ -1,0 +1,344 @@
+open Nra_relational
+open Nra_storage
+
+type config = {
+  scale : float;
+  seed : int64;
+  null_rate : float;
+  declare_not_null : bool;
+}
+
+let default =
+  { scale = 0.01; seed = 42L; null_rate = 0.0; declare_not_null = false }
+
+let orderdate_lo =
+  match Value.date_of_string "1992-01-01" with
+  | Value.Date d -> d
+  | _ -> assert false
+
+let orderdate_hi =
+  match Value.date_of_string "1998-08-02" with
+  | Value.Date d -> d
+  | _ -> assert false
+
+(* SF 1 row counts *)
+let base_suppliers = 10_000
+let base_customers = 150_000
+let base_parts = 200_000
+let base_orders = 1_500_000
+
+let scaled scale base = max 1 (int_of_float (float_of_int base *. scale))
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+    "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+    "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+    "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let part_adjectives =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+    "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream";
+  |]
+
+let part_types =
+  [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let part_materials = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers = [| "SM CASE"; "LG BOX"; "MED BAG"; "JUMBO JAR"; "WRAP PKG" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let instructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let comment rng =
+  Printf.sprintf "%s %s %s"
+    (Prng.pick rng part_adjectives)
+    (Prng.pick rng part_types)
+    (Prng.pick rng part_materials)
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.String s
+let vd d = Value.Date d
+
+let money rng lo hi =
+  vf (float_of_int (Prng.in_range rng (lo * 100) (hi * 100)) /. 100.0)
+
+let nullable_money rng cfg lo hi =
+  if (not cfg.declare_not_null) && Prng.bool rng cfg.null_rate then Value.Null
+  else money rng lo hi
+
+let col = Schema.column
+
+let generate cfg =
+  let cat = Catalog.create () in
+  let rng = Prng.create cfg.seed in
+  let n_suppliers = scaled cfg.scale base_suppliers in
+  let n_customers = scaled cfg.scale base_customers in
+  let n_parts = scaled cfg.scale base_parts in
+  let n_orders = scaled cfg.scale base_orders in
+
+  (* region *)
+  let region =
+    Table.create ~name:"region" ~key:[ "r_regionkey" ]
+      [
+        col "r_regionkey" Ttype.Int;
+        col ~not_null:true "r_name" Ttype.String;
+        col "r_comment" Ttype.String;
+      ]
+      (Array.init 5 (fun i ->
+           [| vi i; vs region_names.(i); vs (comment rng) |]))
+  in
+  Catalog.register cat region;
+
+  (* nation *)
+  let nation =
+    Table.create ~name:"nation" ~key:[ "n_nationkey" ]
+      [
+        col "n_nationkey" Ttype.Int;
+        col ~not_null:true "n_name" Ttype.String;
+        col ~not_null:true "n_regionkey" Ttype.Int;
+        col "n_comment" Ttype.String;
+      ]
+      (Array.init 25 (fun i ->
+           [| vi i; vs nation_names.(i); vi (i mod 5); vs (comment rng) |]))
+  in
+  Catalog.register cat nation;
+
+  (* supplier *)
+  let supplier =
+    Table.create ~name:"supplier" ~key:[ "s_suppkey" ]
+      [
+        col "s_suppkey" Ttype.Int;
+        col ~not_null:true "s_name" Ttype.String;
+        col "s_address" Ttype.String;
+        col ~not_null:true "s_nationkey" Ttype.Int;
+        col "s_phone" Ttype.String;
+        col "s_acctbal" Ttype.Float;
+        col "s_comment" Ttype.String;
+      ]
+      (Array.init n_suppliers (fun i ->
+           let k = i + 1 in
+           [|
+             vi k;
+             vs (Printf.sprintf "Supplier#%09d" k);
+             vs (comment rng);
+             vi (Prng.int rng 25);
+             vs (Printf.sprintf "%02d-%07d" (Prng.in_range rng 10 34)
+                   (Prng.int rng 10_000_000));
+             money rng (-999) 9999;
+             vs (comment rng);
+           |]))
+  in
+  Catalog.register cat supplier;
+
+  (* customer *)
+  let customer =
+    Table.create ~name:"customer" ~key:[ "c_custkey" ]
+      [
+        col "c_custkey" Ttype.Int;
+        col ~not_null:true "c_name" Ttype.String;
+        col "c_address" Ttype.String;
+        col ~not_null:true "c_nationkey" Ttype.Int;
+        col "c_phone" Ttype.String;
+        col "c_acctbal" Ttype.Float;
+        col ~not_null:true "c_mktsegment" Ttype.String;
+        col "c_comment" Ttype.String;
+      ]
+      (Array.init n_customers (fun i ->
+           let k = i + 1 in
+           [|
+             vi k;
+             vs (Printf.sprintf "Customer#%09d" k);
+             vs (comment rng);
+             vi (Prng.int rng 25);
+             vs (Printf.sprintf "%02d-%07d" (Prng.in_range rng 10 34)
+                   (Prng.int rng 10_000_000));
+             money rng (-999) 9999;
+             vs (Prng.pick rng segments);
+             vs (comment rng);
+           |]))
+  in
+  Catalog.register cat customer;
+
+  (* part *)
+  let part =
+    Table.create ~name:"part" ~key:[ "p_partkey" ]
+      [
+        col "p_partkey" Ttype.Int;
+        col ~not_null:true "p_name" Ttype.String;
+        col "p_mfgr" Ttype.String;
+        col "p_brand" Ttype.String;
+        col "p_type" Ttype.String;
+        col ~not_null:true "p_size" Ttype.Int;
+        col "p_container" Ttype.String;
+        col ~not_null:true "p_retailprice" Ttype.Float;
+        col "p_comment" Ttype.String;
+      ]
+      (Array.init n_parts (fun i ->
+           let k = i + 1 in
+           [|
+             vi k;
+             vs
+               (Printf.sprintf "%s %s"
+                  (Prng.pick rng part_adjectives)
+                  (Prng.pick rng part_materials));
+             vs (Printf.sprintf "Manufacturer#%d" (Prng.in_range rng 1 5));
+             vs (Printf.sprintf "Brand#%d%d" (Prng.in_range rng 1 5)
+                   (Prng.in_range rng 1 5));
+             vs
+               (Printf.sprintf "%s %s"
+                  (Prng.pick rng part_types)
+                  (Prng.pick rng part_materials));
+             vi (Prng.in_range rng 1 50);
+             vs (Prng.pick rng containers);
+             money rng 500 1500;
+             vs (comment rng);
+           |]))
+  in
+  Catalog.register cat part;
+
+  (* partsupp: 4 suppliers per part, TPC-H-style spreading *)
+  let suppliers_of_part p =
+    List.init 4 (fun k ->
+        1 + ((p + (k * ((n_suppliers / 4) + 1))) mod n_suppliers))
+    |> List.sort_uniq compare
+  in
+  let partsupp_rows = ref [] in
+  for p = n_parts downto 1 do
+    List.iter
+      (fun s ->
+        partsupp_rows :=
+          [|
+            vi p;
+            vi s;
+            vi (Prng.in_range rng 1 9999);
+            nullable_money rng cfg 1 1000;
+            vs (comment rng);
+          |]
+          :: !partsupp_rows)
+      (suppliers_of_part p)
+  done;
+  let partsupp =
+    Table.create ~name:"partsupp" ~key:[ "ps_partkey"; "ps_suppkey" ]
+      [
+        col "ps_partkey" Ttype.Int;
+        col "ps_suppkey" Ttype.Int;
+        col ~not_null:true "ps_availqty" Ttype.Int;
+        col ~not_null:cfg.declare_not_null "ps_supplycost" Ttype.Float;
+        col "ps_comment" Ttype.String;
+      ]
+      (Array.of_list !partsupp_rows)
+  in
+  Catalog.register cat partsupp;
+
+  (* orders and lineitem *)
+  let order_rows = ref [] in
+  let line_rows = ref [] in
+  for o = n_orders downto 1 do
+    let odate = Prng.in_range rng orderdate_lo orderdate_hi in
+    order_rows :=
+      [|
+        vi o;
+        vi (1 + Prng.int rng n_customers);
+        vs (Prng.pick rng [| "O"; "F"; "P" |]);
+        money rng 1000 500_000;
+        vd odate;
+        vs (Prng.pick rng priorities);
+        vs (Printf.sprintf "Clerk#%09d" (Prng.in_range rng 1 1000));
+        vi 0;
+        vs (comment rng);
+      |]
+      :: !order_rows;
+    let n_lines = Prng.in_range rng 1 7 in
+    for l = n_lines downto 1 do
+      let p = 1 + Prng.int rng n_parts in
+      let ss = suppliers_of_part p in
+      let s = List.nth ss (Prng.int rng (List.length ss)) in
+      let ship = odate + Prng.in_range rng 1 121 in
+      let commit = odate + Prng.in_range rng 30 90 in
+      let receipt = ship + Prng.in_range rng 1 30 in
+      line_rows :=
+        [|
+          vi o;
+          vi p;
+          vi s;
+          vi l;
+          vi (Prng.in_range rng 1 50);
+          nullable_money rng cfg 900 104_000;
+          vf (float_of_int (Prng.int rng 11) /. 100.0);
+          vf (float_of_int (Prng.int rng 9) /. 100.0);
+          vs (Prng.pick rng [| "R"; "A"; "N" |]);
+          vs (Prng.pick rng [| "O"; "F" |]);
+          vd ship;
+          vd commit;
+          vd receipt;
+          vs (Prng.pick rng instructs);
+          vs (Prng.pick rng ship_modes);
+          vs (comment rng);
+        |]
+        :: !line_rows
+    done
+  done;
+  let orders =
+    Table.create ~name:"orders" ~key:[ "o_orderkey" ]
+      [
+        col "o_orderkey" Ttype.Int;
+        col ~not_null:true "o_custkey" Ttype.Int;
+        col "o_orderstatus" Ttype.String;
+        col ~not_null:true "o_totalprice" Ttype.Float;
+        col ~not_null:true "o_orderdate" Ttype.Date;
+        col ~not_null:true "o_orderpriority" Ttype.String;
+        col "o_clerk" Ttype.String;
+        col "o_shippriority" Ttype.Int;
+        col "o_comment" Ttype.String;
+      ]
+      (Array.of_list !order_rows)
+  in
+  Catalog.register cat orders;
+  let lineitem =
+    Table.create ~name:"lineitem" ~key:[ "l_orderkey"; "l_linenumber" ]
+      [
+        col "l_orderkey" Ttype.Int;
+        col ~not_null:true "l_partkey" Ttype.Int;
+        col ~not_null:true "l_suppkey" Ttype.Int;
+        col "l_linenumber" Ttype.Int;
+        col ~not_null:true "l_quantity" Ttype.Int;
+        col ~not_null:cfg.declare_not_null "l_extendedprice" Ttype.Float;
+        col "l_discount" Ttype.Float;
+        col "l_tax" Ttype.Float;
+        col "l_returnflag" Ttype.String;
+        col "l_linestatus" Ttype.String;
+        col ~not_null:true "l_shipdate" Ttype.Date;
+        col ~not_null:true "l_commitdate" Ttype.Date;
+        col ~not_null:true "l_receiptdate" Ttype.Date;
+        col "l_shipinstruct" Ttype.String;
+        col "l_shipmode" Ttype.String;
+        col "l_comment" Ttype.String;
+      ]
+      (Array.of_list !line_rows)
+  in
+  Catalog.register cat lineitem;
+  cat
+
+let add_benchmark_indexes cat =
+  Catalog.create_sorted_index cat ~table:"lineitem"
+    [ "l_partkey"; "l_suppkey" ];
+  Catalog.create_sorted_index cat ~table:"lineitem" [ "l_partkey" ];
+  Catalog.create_sorted_index cat ~table:"lineitem" [ "l_suppkey" ];
+  Catalog.create_sorted_index cat ~table:"lineitem" [ "l_orderkey" ];
+  Catalog.create_sorted_index cat ~table:"partsupp" [ "ps_partkey" ]

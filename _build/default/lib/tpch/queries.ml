@@ -1,0 +1,77 @@
+open Nra_relational
+
+type quant = Any | All
+type q3_variant = A | B | C
+
+let quant_str = function Any -> "any" | All -> "all"
+
+let q1 ~date_lo ~date_hi =
+  Printf.sprintf
+    {|select o_orderkey, o_orderpriority
+from orders
+where o_orderdate >= date '%s' and o_orderdate < date '%s'
+  and o_totalprice > all
+    (select l_extendedprice
+     from lineitem
+     where l_orderkey = o_orderkey
+       and l_commitdate < l_receiptdate
+       and l_shipdate < l_commitdate)|}
+    date_lo date_hi
+
+let q1_window ~outer_fraction =
+  let span = Gen.orderdate_hi - Gen.orderdate_lo in
+  let width = int_of_float (outer_fraction *. float_of_int span) in
+  let lo = Gen.orderdate_lo in
+  ( Value.string_of_date lo,
+    Value.string_of_date (min Gen.orderdate_hi (lo + max 1 width)) )
+
+let q2 ~quant ~size_lo ~size_hi ~availqty_max ~quantity =
+  Printf.sprintf
+    {|select p_partkey, p_name
+from part
+where p_size >= %d and p_size <= %d
+  and p_retailprice < %s
+    (select ps_supplycost
+     from partsupp
+     where ps_partkey = p_partkey
+       and ps_availqty < %d
+       and not exists
+         (select *
+          from lineitem
+          where ps_partkey = l_partkey
+            and ps_suppkey = l_suppkey
+            and l_quantity = %d))|}
+    size_lo size_hi (quant_str quant) availqty_max quantity
+
+let q3 ~quant ~exists ~variant ~size_lo ~size_hi ~availqty_max ~quantity =
+  let corr1, corr2 =
+    match variant with
+    | A -> ("p_partkey = l_partkey", "ps_suppkey = l_suppkey")
+    | B -> ("p_partkey <> l_partkey", "ps_suppkey = l_suppkey")
+    | C -> ("p_partkey = l_partkey", "ps_suppkey <> l_suppkey")
+  in
+  Printf.sprintf
+    {|select p_partkey, p_name
+from part
+where p_size >= %d and p_size <= %d
+  and p_retailprice < %s
+    (select ps_supplycost
+     from partsupp
+     where ps_partkey = p_partkey
+       and ps_availqty < %d
+       and %s
+         (select *
+          from lineitem
+          where %s
+            and %s
+            and l_quantity = %d))|}
+    size_lo size_hi (quant_str quant) availqty_max
+    (if exists then "exists" else "not exists")
+    corr1 corr2 quantity
+
+let size_window ~outer_fraction =
+  let width = max 1 (int_of_float (outer_fraction *. 50.0)) in
+  (1, min 50 width)
+
+let availqty_bound ~fraction =
+  max 1 (int_of_float (fraction *. 9999.0))

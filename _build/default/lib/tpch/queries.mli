@@ -1,0 +1,38 @@
+(** The nested queries of the paper's Section 5, as parameterized SQL.
+
+    Block sizes are controlled exactly as in the paper: by the constants
+    of the pushed-down selections.  Helpers compute those constants from
+    target fractions of the base tables, using the generator's known
+    uniform distributions. *)
+
+type quant = Any | All
+type q3_variant = A  (** =,= *) | B  (** <>,= *) | C  (** =,<> *)
+
+val q1 : date_lo:string -> date_hi:string -> string
+(** Query 1: one-level, [o_totalprice > ALL (select l_extendedprice …)],
+    correlated on [l_orderkey = o_orderkey]. *)
+
+val q1_window : outer_fraction:float -> string * string
+(** Date window (ISO strings) selecting ≈ the given fraction of
+    orders. *)
+
+val q2 : quant:quant -> size_lo:int -> size_hi:int -> availqty_max:int ->
+  quantity:int -> string
+(** Query 2: two-level linear:
+    [p_retailprice < ANY|ALL (select ps_supplycost … and NOT EXISTS
+    (select * from lineitem …))]. *)
+
+val q3 : quant:quant -> exists:bool -> variant:q3_variant ->
+  size_lo:int -> size_hi:int -> availqty_max:int -> quantity:int -> string
+(** Query 3: Query 2 with the innermost block correlated to {e both}
+    enclosing blocks ([p_partkey = l_partkey] replaces
+    [ps_partkey = l_partkey]); [variant] picks the =/<> combination of
+    the two correlated predicates; [exists] selects EXISTS vs NOT
+    EXISTS; [quant] the ALL/ANY of the middle linking operator. *)
+
+val size_window : outer_fraction:float -> int * int
+(** [p_size] range selecting ≈ the fraction of parts (p_size uniform
+    1–50). *)
+
+val availqty_bound : fraction:float -> int
+(** [ps_availqty < bound] selecting ≈ the fraction (uniform 1–9999). *)

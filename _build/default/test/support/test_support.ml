@@ -1,0 +1,178 @@
+(* Shared fixtures and helpers for the test suites. *)
+
+open Nra
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.String s
+let vnull = Value.Null
+let col = Schema.column
+
+(* ---------- the paper's Figure 1 base relations ----------
+
+   R(A, B, C, D) with key D; S(E, F, G, H, I) with key I;
+   T(J, K, L) with key L. *)
+
+let paper_r () =
+  Table.create ~name:"r" ~key:[ "d" ]
+    [
+      col "a" Ttype.Int;
+      col "b" Ttype.Int;
+      col "c" Ttype.Int;
+      col "d" Ttype.Int;
+    ]
+    [|
+      [| vi 20; vi 1; vi 2; vi 3 |];
+      [| vi 30; vi 2; vi 3; vi 5 |];
+      [| vnull; vnull; vi 5; vi 4 |];
+    |]
+
+let paper_s () =
+  Table.create ~name:"s" ~key:[ "i" ]
+    [
+      col "e" Ttype.Int;
+      col "f" Ttype.Int;
+      col "g" Ttype.Int;
+      col "h" Ttype.Int;
+      col "i" Ttype.Int;
+    ]
+    [|
+      [| vi 1; vi 5; vi 3; vi 8; vi 1 |];
+      [| vi 2; vi 5; vi 3; vi 9; vi 2 |];
+      [| vi 3; vi 5; vi 5; vnull; vi 4 |];
+    |]
+
+let paper_t () =
+  Table.create ~name:"t" ~key:[ "l" ]
+    [ col "j" Ttype.Int; col "k" Ttype.Int; col "l" Ttype.Int ]
+    [|
+      [| vi 7; vi 2; vi 1 |];
+      [| vi 9; vi 2; vi 3 |];
+      [| vnull; vi 4; vi 2 |];
+    |]
+
+let paper_catalog () =
+  let cat = Catalog.create () in
+  Catalog.register cat (paper_r ());
+  Catalog.register cat (paper_s ());
+  Catalog.register cat (paper_t ());
+  cat
+
+(* ---------- a small employees/departments schema with NULLs ---------- *)
+
+let emp_dept_catalog () =
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"dept" ~key:[ "dept_id" ]
+       [
+         col "dept_id" Ttype.Int;
+         col ~not_null:true "dname" Ttype.String;
+         col "budget" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vs "eng"; vi 100 |];
+         [| vi 2; vs "sales"; vi 50 |];
+         [| vi 3; vs "hr"; vnull |];
+         [| vi 4; vs "empty"; vi 10 |];
+       |]);
+  Catalog.register cat
+    (Table.create ~name:"emp" ~key:[ "emp_id" ]
+       [
+         col "emp_id" Ttype.Int;
+         col ~not_null:true "ename" Ttype.String;
+         col "dept_id" Ttype.Int;
+         col "salary" Ttype.Int;
+         col "manager_id" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vs "ada"; vi 1; vi 90; vnull |];
+         [| vi 2; vs "bob"; vi 1; vi 60; vi 1 |];
+         [| vi 3; vs "cyd"; vi 2; vi 70; vi 1 |];
+         [| vi 4; vs "dan"; vi 2; vnull; vi 3 |];
+         [| vi 5; vs "eve"; vi 3; vi 80; vnull |];
+         [| vi 6; vs "fay"; vnull; vi 40; vi 5 |];
+       |]);
+  Catalog.register cat
+    (Table.create ~name:"project" ~key:[ "proj_id" ]
+       [
+         col "proj_id" Ttype.Int;
+         col "owner_dept" Ttype.Int;
+         col "lead_emp" Ttype.Int;
+         col "hours" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vi 1; vi 1; vi 10 |];
+         [| vi 2; vi 1; vi 2; vnull |];
+         [| vi 3; vi 2; vi 3; vi 30 |];
+         [| vi 4; vi 3; vnull; vi 5 |];
+       |]);
+  cat
+
+(* ---------- executor comparison ---------- *)
+
+let all_strategies = List.map snd Nra.strategies
+
+let run_all ?(strategies = all_strategies) cat sql =
+  List.map
+    (fun s ->
+      match Nra.query ~strategy:s cat sql with
+      | Ok rel -> (Nra.strategy_to_string s, Ok rel)
+      | Error m -> (Nra.strategy_to_string s, Error m))
+    strategies
+
+let check_equivalent ?strategies cat sql =
+  match run_all ?strategies cat sql with
+  | [] -> Alcotest.fail "no strategies"
+  | (ref_name, ref_res) :: rest ->
+      let ref_rel =
+        match ref_res with
+        | Ok rel -> rel
+        | Error m ->
+            Alcotest.fail (Printf.sprintf "%s failed on %s: %s" ref_name sql m)
+      in
+      List.iter
+        (fun (name, res) ->
+          match res with
+          | Error m ->
+              Alcotest.fail
+                (Printf.sprintf "%s failed on %s: %s" name sql m)
+          | Ok rel ->
+              if not (Relation.equal_bag ref_rel rel) then
+                Alcotest.fail
+                  (Format.asprintf
+                     "%s disagrees with %s on:@.%s@.%s result:@.%a@.%s \
+                      result:@.%a"
+                     name ref_name sql ref_name Relation.pp ref_rel name
+                     Relation.pp rel))
+        rest;
+      ref_rel
+
+(* ---------- alcotest helpers ---------- *)
+
+let relation_testable =
+  Alcotest.testable Relation.pp (fun a b -> Relation.equal_bag a b)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let t3 = Alcotest.testable Three_valued.pp Three_valued.equal
+
+let rows_of rel = Relation.sorted_rows rel
+
+let int_rows rel =
+  List.map
+    (fun row ->
+      Array.to_list row
+      |> List.map (function
+           | Value.Int i -> Some i
+           | Value.Null -> None
+           | v -> Alcotest.fail ("expected int, got " ^ Value.to_string v)))
+    (rows_of rel)
+
+let check_rows name expected rel =
+  Alcotest.(check (list (list (option int)))) name expected (int_rows rel)
+
+(* run a flat SQL and return the relation, failing on error *)
+let q cat sql =
+  match Nra.query cat sql with
+  | Ok rel -> rel
+  | Error m -> Alcotest.fail (Printf.sprintf "query failed (%s): %s" sql m)

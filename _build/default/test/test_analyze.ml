@@ -1,0 +1,239 @@
+open Nra
+open Test_support
+module A = Planner.Analyze
+module R = Planner.Resolved
+
+let analyze cat sql =
+  match A.analyze_string cat sql with
+  | Ok t -> t
+  | Error m -> Alcotest.fail (Printf.sprintf "analyze failed (%s): %s" sql m)
+
+let expect_error cat needle sql =
+  match A.analyze_string cat sql with
+  | Error m ->
+      let lower = String.lowercase_ascii m in
+      let nl = String.lowercase_ascii needle in
+      let contains =
+        let n = String.length nl and h = String.length lower in
+        let rec go i = i + n <= h && (String.sub lower i n = nl || go (i + 1)) in
+        n = 0 || go 0
+      in
+      if not contains then
+        Alcotest.fail
+          (Printf.sprintf "error %S does not mention %S (query: %s)" m needle
+             sql)
+  | Ok _ -> Alcotest.fail ("accepted: " ^ sql)
+
+let test_flat_query () =
+  let cat = emp_dept_catalog () in
+  let t = analyze cat "select ename from emp where salary > 50" in
+  Alcotest.(check int) "one block" 1 (List.length t.A.blocks);
+  Alcotest.(check int) "depth 0" 0 t.A.depth;
+  Alcotest.(check bool) "linear trivially" true t.A.linear;
+  Alcotest.(check int) "local conjunct" 1
+    (List.length t.A.root.A.local)
+
+let test_block_numbering () =
+  let cat = paper_catalog () in
+  let t =
+    analyze cat
+      {|select r.b from r
+        where r.b not in (select s.e from s where r.d = s.g and s.h > all
+          (select t.j from t where t.k = r.c))|}
+  in
+  Alcotest.(check (list int)) "pre-order ids" [ 1; 2; 3 ]
+    (List.map (fun b -> b.A.id) t.A.blocks)
+
+let test_correlation_classification () =
+  let cat = emp_dept_catalog () in
+  let t =
+    analyze cat
+      {|select dname from dept
+        where exists (select * from emp
+                      where emp.dept_id = dept.dept_id and salary > 50)|}
+  in
+  let child = (List.hd t.A.root.A.children).A.block in
+  Alcotest.(check int) "one local (salary)" 1 (List.length child.A.local);
+  Alcotest.(check int) "one correlated" 1 (List.length child.A.correlated);
+  Alcotest.(check bool) "linear" true t.A.linear
+
+let test_tree_query_not_linear () =
+  let cat = emp_dept_catalog () in
+  let t =
+    analyze cat
+      {|select dname from dept
+        where exists (select * from emp where emp.dept_id = dept.dept_id)
+          and budget > any (select hours from project
+                            where project.owner_dept = dept.dept_id)|}
+  in
+  Alcotest.(check int) "two children" 2 (List.length t.A.root.A.children);
+  Alcotest.(check bool) "tree queries are not linear" false t.A.linear;
+  Alcotest.(check int) "depth 1" 1 t.A.depth
+
+let test_nonadjacent_correlation_not_linear () =
+  let cat = paper_catalog () in
+  let t =
+    analyze cat
+      {|select r.b from r where r.b in
+         (select s.e from s where r.d = s.g and exists
+            (select * from t where t.k = r.c))|}
+  in
+  Alcotest.(check bool) "correlation skipping a level breaks linearity" false
+    t.A.linear
+
+let test_self_join_uids () =
+  let cat = emp_dept_catalog () in
+  let t =
+    analyze cat
+      {|select e1.ename from emp e1
+        where e1.salary > any (select e2.salary from emp e2
+                               where e2.manager_id = e1.emp_id)|}
+  in
+  let uids = List.map fst t.A.by_uid |> List.sort_uniq compare in
+  Alcotest.(check int) "two distinct uids" 2 (List.length uids)
+
+let test_same_alias_in_nested_blocks () =
+  let cat = emp_dept_catalog () in
+  (* both blocks bind the bare name emp; uids must disambiguate *)
+  let t =
+    analyze cat
+      {|select ename from emp
+        where salary > all (select salary - 1 from emp where emp_id = 1)|}
+  in
+  let uids = List.map fst t.A.by_uid in
+  Alcotest.(check int) "two bindings" 2 (List.length uids);
+  Alcotest.(check bool) "uids distinct" true
+    (List.length (List.sort_uniq compare uids) = 2)
+
+let test_not_normalization () =
+  let cat = emp_dept_catalog () in
+  (* NOT over EXISTS / IN / quantifiers must normalize into linking ops *)
+  let t =
+    analyze cat
+      {|select ename from emp
+        where not (salary in (select budget from dept))|}
+  in
+  (match (List.hd t.A.root.A.children).A.link with
+  | A.L_not_in _ -> ()
+  | _ -> Alcotest.fail "NOT (x IN S) should become NOT IN");
+  let t =
+    analyze cat
+      {|select ename from emp
+        where not (salary > all (select budget from dept))|}
+  in
+  match (List.hd t.A.root.A.children).A.link with
+  | A.L_quant (_, Three_valued.Le, `Any) -> ()
+  | _ -> Alcotest.fail "NOT (x > ALL S) should become x <= ANY S"
+
+let test_marker_is_key () =
+  let cat = emp_dept_catalog () in
+  let t =
+    analyze cat
+      "select ename from emp where exists (select * from dept where dept.dept_id = emp.dept_id)"
+  in
+  let child = (List.hd t.A.root.A.children).A.block in
+  Alcotest.(check string) "marker column" "dept_id"
+    child.A.marker.R.col
+
+let test_not_null_tracking () =
+  let cat = emp_dept_catalog () in
+  let t = analyze cat "select ename from emp" in
+  let rc uid col = { R.uid; col; block_id = 1 } in
+  Alcotest.(check bool) "ename is NOT NULL" true
+    (A.col_not_null t (rc "emp" "ename"));
+  Alcotest.(check bool) "salary is nullable" false
+    (A.col_not_null t (rc "emp" "salary"));
+  Alcotest.(check bool) "literal not nullable" true
+    (A.expr_not_nullable t (R.RLit (vi 1)));
+  Alcotest.(check bool) "null literal nullable" false
+    (A.expr_not_nullable t (R.RLit vnull));
+  Alcotest.(check bool) "division is nullable" false
+    (A.expr_not_nullable t
+       (R.RBin (Sql.Ast.Div, R.RLit (vi 1), R.RLit (vi 2))))
+
+let test_scalar_subquery_forms () =
+  let cat = emp_dept_catalog () in
+  let t =
+    analyze cat
+      {|select ename from emp
+        where salary > (select avg(salary) from emp e2
+                        where e2.dept_id = emp.dept_id)|}
+  in
+  let child = (List.hd t.A.root.A.children).A.block in
+  (match child.A.scalar_agg with
+  | Some (Sql.Ast.Avg, Some _) -> ()
+  | _ -> Alcotest.fail "aggregate scalar subquery not recognized");
+  match (List.hd t.A.root.A.children).A.link with
+  | A.L_scalar (_, Three_valued.Gt) -> ()
+  | _ -> Alcotest.fail "scalar link"
+
+let test_errors () =
+  let cat = emp_dept_catalog () in
+  expect_error cat "unknown table" "select * from nosuch";
+  expect_error cat "unknown column" "select nocol from emp";
+  expect_error cat "ambiguous" "select dept_id from emp, dept";
+  expect_error cat "unknown table or alias"
+    "select zz.ename from emp";
+  expect_error cat "duplicate"
+    "select * from emp e, dept e";
+  expect_error cat "or"
+    {|select * from emp
+      where salary > 1 or exists (select * from dept)|};
+  expect_error cat "group by"
+    {|select * from emp
+      where exists (select dept_id from dept group by dept_id)|};
+  expect_error cat "limit"
+    {|select * from emp where dept_id in (select dept_id from dept limit 1)|};
+  expect_error cat "exactly one"
+    "select * from emp where dept_id in (select * from dept)";
+  expect_error cat "aggregate"
+    "select * from emp where salary > all (select max(budget) from dept)";
+  expect_error cat "aggregate"
+    "select * from emp where max(salary) > 1";
+  expect_error cat "expected an identifier" "select 1 from "
+
+let test_outer_scope_column_in_inner_select () =
+  let cat = emp_dept_catalog () in
+  (* the subquery selects an outer column — legal SQL *)
+  let t =
+    analyze cat
+      {|select ename from emp
+        where salary in (select emp.salary from dept
+                         where dept.dept_id = emp.dept_id)|}
+  in
+  let child = (List.hd t.A.root.A.children).A.block in
+  match child.A.linked_attr with
+  | Some (R.RCol c) -> Alcotest.(check int) "resolves to outer" 1 c.R.block_id
+  | _ -> Alcotest.fail "linked attr"
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "blocks",
+        [
+          Alcotest.test_case "flat" `Quick test_flat_query;
+          Alcotest.test_case "numbering" `Quick test_block_numbering;
+          Alcotest.test_case "correlation" `Quick
+            test_correlation_classification;
+          Alcotest.test_case "tree query" `Quick test_tree_query_not_linear;
+          Alcotest.test_case "non-adjacent correlation" `Quick
+            test_nonadjacent_correlation_not_linear;
+          Alcotest.test_case "marker" `Quick test_marker_is_key;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "self join uids" `Quick test_self_join_uids;
+          Alcotest.test_case "same alias nested" `Quick
+            test_same_alias_in_nested_blocks;
+          Alcotest.test_case "outer column in inner select" `Quick
+            test_outer_scope_column_in_inner_select;
+          Alcotest.test_case "NOT NULL tracking" `Quick test_not_null_tracking;
+        ] );
+      ( "normalization",
+        [
+          Alcotest.test_case "NOT pushing" `Quick test_not_normalization;
+          Alcotest.test_case "scalar subqueries" `Quick
+            test_scalar_subquery_forms;
+        ] );
+      ("errors", [ Alcotest.test_case "all rejected" `Quick test_errors ]);
+    ]

@@ -1,0 +1,194 @@
+open Nra
+open Test_support
+module T = Three_valued
+
+let row = [| vi 10; vi 3; vnull; vs "hi"; vf 2.5 |]
+
+let test_eval_scalar () =
+  Alcotest.check value_testable "col" (vi 3) (Expr.eval_scalar row (Expr.Col 1));
+  Alcotest.check value_testable "const" (vs "x")
+    (Expr.eval_scalar row (Expr.Const (vs "x")));
+  Alcotest.check value_testable "arith" (vi 13)
+    (Expr.eval_scalar row (Expr.Add (Expr.Col 0, Expr.Col 1)));
+  Alcotest.check value_testable "null propagates" vnull
+    (Expr.eval_scalar row (Expr.Mul (Expr.Col 2, Expr.Col 0)));
+  Alcotest.check value_testable "nested" (vf 25.0)
+    (Expr.eval_scalar row
+       (Expr.Mul (Expr.Col 0, Expr.Const (vf 2.5))))
+
+let test_eval_pred () =
+  let check name expected p = Alcotest.check t3 name expected (Expr.eval_pred row p) in
+  check "cmp true" T.True (Expr.Cmp (T.Gt, Expr.Col 0, Expr.Col 1));
+  check "cmp unknown" T.Unknown (Expr.Cmp (T.Gt, Expr.Col 0, Expr.Col 2));
+  check "is_null" T.True (Expr.Is_null (Expr.Col 2));
+  check "is_not_null" T.True (Expr.Is_not_null (Expr.Col 0));
+  check "and short-circuit semantics" T.False
+    (Expr.And
+       ( Expr.Cmp (T.Gt, Expr.Col 1, Expr.Col 0),
+         Expr.Cmp (T.Eq, Expr.Col 2, Expr.Col 2) ));
+  check "in_list hit" T.True
+    (Expr.In_list (Expr.Col 1, [ vi 1; vi 3 ]));
+  check "in_list miss with null is unknown" T.Unknown
+    (Expr.In_list (Expr.Col 1, [ vi 1; vnull ]));
+  check "in_list plain miss" T.False
+    (Expr.In_list (Expr.Col 1, [ vi 1; vi 2 ]));
+  check "null in_list" T.Unknown
+    (Expr.In_list (Expr.Col 2, [ vi 1 ]));
+  check "between" T.True
+    (Expr.Between (Expr.Col 1, Expr.Const (vi 1), Expr.Const (vi 5)));
+  check "between unknown" T.Unknown
+    (Expr.Between (Expr.Col 2, Expr.Const (vi 1), Expr.Const (vi 5)))
+
+let test_holds () =
+  Alcotest.(check bool) "unknown not selected" false
+    (Expr.holds (Expr.Cmp (T.Eq, Expr.Col 2, Expr.Col 2)) row)
+
+let test_conjuncts () =
+  let p =
+    Expr.And
+      ( Expr.And (Expr.Is_null (Expr.Col 0), Expr.true_),
+        Expr.Is_null (Expr.Col 1) )
+  in
+  Alcotest.(check int) "flattens and drops true" 2
+    (List.length (Expr.conjuncts p));
+  Alcotest.(check int) "conj of [] is true" 0
+    (List.length (Expr.conjuncts (Expr.conj [])))
+
+let test_cols () =
+  let p =
+    Expr.And
+      ( Expr.Cmp (T.Eq, Expr.Col 3, Expr.Col 1),
+        Expr.Between (Expr.Col 1, Expr.Const (vi 0), Expr.Col 4) )
+  in
+  Alcotest.(check (list int)) "pred_cols sorted unique" [ 1; 3; 4 ]
+    (Expr.pred_cols p);
+  Alcotest.(check (list int)) "scalar_cols" [ 0; 2 ]
+    (Expr.scalar_cols (Expr.Add (Expr.Col 2, Expr.Col 0)))
+
+let test_shift_remap () =
+  let p = Expr.Cmp (T.Eq, Expr.Col 0, Expr.Col 2) in
+  Alcotest.(check (list int)) "shift" [ 5; 7 ]
+    (Expr.pred_cols (Expr.shift_pred 5 p));
+  Alcotest.(check (list int)) "remap" [ 0; 4 ]
+    (Expr.pred_cols (Expr.remap_pred (fun i -> i * 2) p))
+
+let test_split_equi () =
+  let p =
+    Expr.conj
+      [
+        Expr.Cmp (T.Eq, Expr.Col 0, Expr.Col 5);
+        Expr.Cmp (T.Eq, Expr.Col 6, Expr.Col 1);
+        Expr.Cmp (T.Neq, Expr.Col 2, Expr.Col 7);
+        Expr.Cmp (T.Eq, Expr.Col 0, Expr.Col 1);
+      ]
+  in
+  let equi, residual = Expr.split_equi ~left_arity:4 p in
+  Alcotest.(check (list (pair int int)))
+    "equi pairs (right positions rebased)"
+    [ (0, 1); (1, 2) ]
+    equi;
+  Alcotest.(check int) "residuals" 2 (List.length residual)
+
+let test_fold_basics () =
+  let open Expr in
+  Alcotest.(check bool) "arith folds" true
+    (fold_scalar (Add (Const (vi 1), Const (vi 2))) = Const (vi 3));
+  Alcotest.(check bool) "nested folds" true
+    (fold_scalar (Mul (Add (Const (vi 1), Const (vi 2)), Const (vi 4)))
+    = Const (vi 12));
+  Alcotest.(check bool) "cols block folding" true
+    (match fold_scalar (Add (Col 0, Const (vi 2))) with
+    | Add (Col 0, Const _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "cmp folds to literal" true
+    (fold_pred (Cmp (Three_valued.Lt, Const (vi 1), Const (vi 2)))
+    = Lit3 Three_valued.True);
+  Alcotest.(check bool) "true and p -> p" true
+    (fold_pred (And (true_, Is_null (Col 0))) = Is_null (Col 0));
+  Alcotest.(check bool) "false and p -> false" true
+    (fold_pred (And (Lit3 Three_valued.False, Is_null (Col 0)))
+    = Lit3 Three_valued.False);
+  Alcotest.(check bool) "null comparison folds to unknown" true
+    (fold_pred (Cmp (Three_valued.Eq, Const vnull, Const (vi 1)))
+    = Lit3 Three_valued.Unknown);
+  (* a raising constant expression is left untouched *)
+  Alcotest.(check bool) "type error not folded" true
+    (match fold_scalar (Add (Const (vs "x"), Const (vi 1))) with
+    | Add (Const _, Const _) -> true
+    | _ -> false)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let arb_pred =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        map (fun i -> Expr.Col i) (int_bound 4);
+        map (fun i -> Expr.Const (vi i)) (int_bound 5);
+        return (Expr.Const vnull);
+      ]
+  in
+  let scalar2 =
+    oneof
+      [
+        scalar;
+        map2 (fun a b -> Expr.Add (a, b)) scalar scalar;
+        map2 (fun a b -> Expr.Sub (a, b)) scalar scalar;
+      ]
+  in
+  let op = oneofl Three_valued.[ Eq; Neq; Lt; Le; Gt; Ge ] in
+  let leaf =
+    oneof
+      [
+        map3 (fun o a b -> Expr.Cmp (o, a, b)) op scalar2 scalar2;
+        map (fun a -> Expr.Is_null a) scalar2;
+        map (fun a -> Expr.In_list (a, [ vi 1; vnull ])) scalar2;
+        map3 (fun a lo hi -> Expr.Between (a, lo, hi)) scalar2 scalar2 scalar2;
+      ]
+  in
+  let rec pred n =
+    if n = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Expr.And (a, b)) (pred (n - 1)) (pred (n - 1));
+          map2 (fun a b -> Expr.Or (a, b)) (pred (n - 1)) (pred (n - 1));
+          map (fun a -> Expr.Not a) (pred (n - 1));
+        ]
+  in
+  QCheck.make (pred 3)
+
+let prop_fold_sound =
+  QCheck.Test.make ~name:"folding preserves evaluation" ~count:1000
+    QCheck.(pair arb_pred (array_of_size (QCheck.Gen.return 5)
+                             (oneof [ QCheck.always vnull;
+                                      map (fun i -> vi i) (int_bound 5) ])))
+    (fun (p, row) ->
+      Three_valued.equal
+        (Expr.eval_pred row p)
+        (Expr.eval_pred row (Expr.fold_pred p)))
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "scalar" `Quick test_eval_scalar;
+          Alcotest.test_case "pred" `Quick test_eval_pred;
+          Alcotest.test_case "holds" `Quick test_holds;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "cols" `Quick test_cols;
+          Alcotest.test_case "shift/remap" `Quick test_shift_remap;
+          Alcotest.test_case "split_equi" `Quick test_split_equi;
+        ] );
+      ( "folding",
+        [
+          Alcotest.test_case "basics" `Quick test_fold_basics;
+          qtest prop_fold_sound;
+        ] );
+    ]

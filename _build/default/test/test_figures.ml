@@ -1,0 +1,168 @@
+(* Figure-shape regression tests: the qualitative claims of the paper's
+   Section 5 — who wins, and that NRA is insensitive to the linking
+   operator — asserted on the simulated 2005 I/O costs at a small scale.
+   The full sweeps live in bench/main.ml; these tests pin the shapes. *)
+
+open Nra
+module I = Nra_storage.Iosim
+module Q = Tpch.Queries
+
+let cat =
+  lazy
+    (let cat =
+       Tpch.Gen.generate { Tpch.Gen.default with Tpch.Gen.scale = 0.01 }
+     in
+     Tpch.Gen.add_benchmark_indexes cat;
+     cat)
+
+let sim strategy sql =
+  let cat = Lazy.force cat in
+  I.reset ();
+  ignore (Nra.query_exn ~strategy cat sql);
+  I.simulated_seconds ()
+
+let q1 () =
+  let lo, hi = Q.q1_window ~outer_fraction:0.01 in
+  Q.q1 ~date_lo:lo ~date_hi:hi
+
+let q2 quant =
+  Q.q2 ~quant ~size_lo:1 ~size_hi:12 ~availqty_max:200 ~quantity:25
+
+let q3 ~quant ~exists ~variant =
+  Q.q3 ~quant ~exists ~variant ~size_lo:1 ~size_hi:12 ~availqty_max:200
+    ~quantity:25
+
+let assert_faster ?(factor = 1.5) name fast slow =
+  if fast *. factor >= slow then
+    Alcotest.fail
+      (Printf.sprintf "%s: expected %.3fs to beat %.3fs by ≥ %.1fx" name fast
+         slow factor)
+
+let test_figure4 () =
+  let sql = q1 () in
+  let native = sim Nra.Classical sql in
+  let nra = sim Nra.Nra_optimized sql in
+  assert_faster "figure 4: NRA beats nested iteration" ~factor:1.5 nra native
+
+let test_figure5 () =
+  (* positive operators: the semijoin/antijoin plan wins *)
+  let sql = q2 Q.Any in
+  let native = sim Nra.Classical sql in
+  let nra = sim Nra.Nra_optimized sql in
+  assert_faster "figure 5: native unnesting beats NRA" ~factor:1.2 native nra
+
+let test_figure6 () =
+  let sql = q2 Q.All in
+  let native = sim Nra.Classical sql in
+  let nra = sim Nra.Nra_optimized sql in
+  assert_faster "figure 6: NRA beats the forced iteration" ~factor:3.0 nra
+    native
+
+let test_figure6_crossover_is_the_operator () =
+  (* figures 5 vs 6 differ only in ANY vs ALL: NRA's cost must be the
+     same for both, native's must blow up *)
+  let nra_any = sim Nra.Nra_optimized (q2 Q.Any) in
+  let nra_all = sim Nra.Nra_optimized (q2 Q.All) in
+  Alcotest.(check (float 0.05)) "NRA is operator-insensitive" nra_any nra_all;
+  let native_any = sim Nra.Classical (q2 Q.Any) in
+  let native_all = sim Nra.Classical (q2 Q.All) in
+  assert_faster "native collapses on ALL" ~factor:3.0 native_any native_all
+
+let test_figures789 () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (quant, exists, label) ->
+          let sql = q3 ~quant ~exists ~variant in
+          let native = sim Nra.Classical sql in
+          let nra = sim Nra.Nra_optimized sql in
+          assert_faster
+            (Printf.sprintf "figures 7-9 (%s): NRA wins on tree correlation"
+               label)
+            ~factor:2.0 nra native)
+        [
+          (Q.All, true, "3a"); (Q.All, false, "3b"); (Q.Any, true, "3c");
+        ])
+    [ Q.A; Q.B; Q.C ]
+
+let test_not_null_restores_native_on_q1 () =
+  (* the paper: with NOT NULL on l_extendedprice, System A antijoins
+     Query 1 and "the performance is about the same as ours" *)
+  let cat =
+    Tpch.Gen.generate
+      { Tpch.Gen.default with Tpch.Gen.scale = 0.01; declare_not_null = true }
+  in
+  Tpch.Gen.add_benchmark_indexes cat;
+  let sql = q1 () in
+  let run strategy =
+    I.reset ();
+    ignore (Nra.query_exn ~strategy cat sql);
+    I.simulated_seconds ()
+  in
+  let native = run Nra.Classical in
+  let nra = run Nra.Nra_optimized in
+  Alcotest.(check bool)
+    "antijoin-based native is within 3x of NRA" true
+    (native < 3.0 *. nra +. 0.05)
+
+let test_original_vs_optimized_cpu () =
+  (* figure 10's claim, qualitatively: optimized nest+select costs no
+     more than original *)
+  let cat = Lazy.force cat in
+  let lo, hi = Q.q1_window ~outer_fraction:0.8 in
+  let sql = Q.q1 ~date_lo:lo ~date_hi:hi in
+  match Planner.Analyze.analyze_string cat sql with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+      let module N = Exec.Nra_exec in
+      (* median of 5 to de-noise *)
+      let measure options =
+        let xs =
+          List.init 5 (fun _ ->
+              let _, st = N.run_where ~options cat t in
+              st.N.nest_select_seconds)
+        in
+        List.nth (List.sort compare xs) 2
+      in
+      let orig = measure N.original in
+      let opt = measure N.optimized in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimized (%.4fs) <= original (%.4fs) + noise" opt
+           orig)
+        true
+        (opt <= (orig *. 1.25) +. 0.002)
+
+let test_hybrid_takes_the_best_side () =
+  (* §6 integration: hybrid must match the winner on both sides of the
+     figure 5/6 crossover *)
+  let close a b = Float.abs (a -. b) <= 0.02 +. (0.05 *. Float.max a b) in
+  let h5 = sim Nra.Hybrid (q2 Q.Any) in
+  let c5 = sim Nra.Classical (q2 Q.Any) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid (%.2fs) = classical (%.2fs) on figure 5" h5 c5)
+    true (close h5 c5);
+  let h6 = sim Nra.Hybrid (q2 Q.All) in
+  let n6 = sim Nra.Nra_full (q2 Q.All) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid (%.2fs) = nra-full (%.2fs) on figure 6" h6 n6)
+    true (close h6 n6)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "figure 4" `Slow test_figure4;
+          Alcotest.test_case "figure 5" `Slow test_figure5;
+          Alcotest.test_case "figure 6" `Slow test_figure6;
+          Alcotest.test_case "figures 5/6 crossover" `Slow
+            test_figure6_crossover_is_the_operator;
+          Alcotest.test_case "figures 7-9" `Slow test_figures789;
+          Alcotest.test_case "NOT NULL restores native on Q1" `Slow
+            test_not_null_restores_native_on_q1;
+          Alcotest.test_case "original vs optimized" `Slow
+            test_original_vs_optimized_cpu;
+          Alcotest.test_case "hybrid takes the best side" `Slow
+            test_hybrid_takes_the_best_side;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+open Nra
+module I = Nra_storage.Iosim
+
+let approx = Alcotest.float 1e-9
+
+let with_config cfg f =
+  let saved = I.config () in
+  I.set_config cfg;
+  I.reset ();
+  Fun.protect ~finally:(fun () -> I.set_config saved; I.reset ()) f
+
+let cfg =
+  {
+    I.rows_per_page = 10;
+    t_seq_ms = 1.0;
+    t_rand_ms = 10.0;
+    t_fetch_ms = 0.5;
+    cache_pages = 0;
+  }
+
+let test_scan_pages () =
+  with_config cfg (fun () ->
+      I.charge_scan_rows 25;
+      Alcotest.(check int) "ceil(25/10)" 3 (I.counters ()).I.seq_pages;
+      I.charge_scan_rows 1;
+      Alcotest.(check int) "one more page" 4 (I.counters ()).I.seq_pages;
+      I.charge_scan_rows 0;
+      Alcotest.(check int) "empty scan free" 4 (I.counters ()).I.seq_pages)
+
+let test_probe () =
+  with_config cfg (fun () ->
+      I.charge_probe ~matches:3;
+      Alcotest.(check int) "leaf + 3 fetches" 4 (I.counters ()).I.rand_pages)
+
+let test_fetch_and_time () =
+  with_config cfg (fun () ->
+      I.charge_scan_rows 10;
+      I.charge_probe ~matches:0;
+      I.charge_fetch_rows 100;
+      (* 1 page seq * 1ms + 1 rand * 10ms + 100 rows * 0.5ms = 61 ms *)
+      Alcotest.check approx "simulated seconds" 0.061 (I.simulated_seconds ()))
+
+let test_reset () =
+  with_config cfg (fun () ->
+      I.charge_scan_rows 100;
+      I.reset ();
+      Alcotest.check approx "reset" 0.0 (I.simulated_seconds ()))
+
+let test_executors_charge () =
+  with_config I.default_config (fun () ->
+      let cat =
+        Tpch.Gen.generate { Tpch.Gen.default with Tpch.Gen.scale = 0.002 }
+      in
+      Tpch.Gen.add_benchmark_indexes cat;
+      let lo, hi = Tpch.Queries.q1_window ~outer_fraction:0.3 in
+      let sql = Tpch.Queries.q1 ~date_lo:lo ~date_hi:hi in
+      I.reset ();
+      ignore (Nra.query_exn ~strategy:Nra.Naive cat sql);
+      let naive = I.counters () in
+      Alcotest.(check bool) "naive probes" true (naive.I.rand_pages > 0);
+      I.reset ();
+      ignore (Nra.query_exn ~strategy:Nra.Nra_optimized cat sql);
+      let nra = I.counters () in
+      Alcotest.(check bool) "NRA never probes" true (nra.I.rand_pages = 0);
+      Alcotest.(check bool) "NRA scans" true (nra.I.seq_pages > 0);
+      Alcotest.(check bool) "NRA pays fetch" true (nra.I.fetched_rows > 0))
+
+let test_lru () =
+  let module L = Nra_storage.Lru in
+  let l = L.create ~capacity:2 in
+  Alcotest.(check bool) "first touch misses" false (L.touch l 1);
+  Alcotest.(check bool) "second touch hits" true (L.touch l 1);
+  ignore (L.touch l 2);
+  ignore (L.touch l 1);
+  (* recency is 1 > 2 — inserting 3 evicts 2 *)
+  ignore (L.touch l 3);
+  Alcotest.(check bool) "lru evicted" false (L.mem l 2);
+  Alcotest.(check bool) "recent survives" true (L.mem l 1);
+  Alcotest.(check int) "size bounded" 2 (L.size l);
+  L.clear l;
+  Alcotest.(check int) "cleared" 0 (L.size l);
+  let l0 = L.create ~capacity:0 in
+  Alcotest.(check bool) "capacity 0 never hits" false
+    (L.touch l0 7 || L.touch l0 7)
+
+let test_buffer_cache () =
+  with_config { cfg with I.cache_pages = 1 } (fun () ->
+      (* rows 0..9 share page 0 (rows_per_page = 10) *)
+      I.charge_row_fetch ~table:"t" ~row_id:3;
+      I.charge_row_fetch ~table:"t" ~row_id:7;
+      Alcotest.(check int) "one miss, one hit" 1 (I.counters ()).I.rand_pages;
+      Alcotest.(check int) "hits counted" 1 (I.cache_hits ());
+      (* a different page evicts page 0 in a 1-page cache *)
+      I.charge_row_fetch ~table:"t" ~row_id:15;
+      I.charge_row_fetch ~table:"t" ~row_id:3;
+      Alcotest.(check int) "re-read after eviction" 3
+        (I.counters ()).I.rand_pages;
+      (* same page number of another table is a distinct page *)
+      I.charge_row_fetch ~table:"u" ~row_id:3;
+      Alcotest.(check int) "tables do not alias" 4
+        (I.counters ()).I.rand_pages)
+
+let test_cache_disabled () =
+  with_config cfg (fun () ->
+      I.charge_row_fetch ~table:"t" ~row_id:1;
+      I.charge_row_fetch ~table:"t" ~row_id:1;
+      Alcotest.(check int) "no cache: every fetch pays" 2
+        (I.counters ()).I.rand_pages)
+
+let () =
+  Alcotest.run "iosim"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru;
+          Alcotest.test_case "buffer cache" `Quick test_buffer_cache;
+          Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "scan pages" `Quick test_scan_pages;
+          Alcotest.test_case "probe" `Quick test_probe;
+          Alcotest.test_case "fetch and time" `Quick test_fetch_and_time;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "executors charge the model" `Quick
+            test_executors_charge;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+open Nra
+open Test_support
+module T = Three_valued
+
+let m pattern s = Expr.like_match ~pattern s
+
+let test_matcher () =
+  let cases =
+    [
+      ("abc", "abc", true);
+      ("abc", "abd", false);
+      ("abc", "ab", false);
+      ("", "", true);
+      ("", "a", false);
+      ("%", "", true);
+      ("%", "anything", true);
+      ("a%", "a", true);
+      ("a%", "abc", true);
+      ("a%", "ba", false);
+      ("%c", "abc", true);
+      ("%c", "cab", false);
+      ("a%c", "abc", true);
+      ("a%c", "ac", true);
+      ("a%c", "abd", false);
+      ("_", "a", true);
+      ("_", "", false);
+      ("_", "ab", false);
+      ("a_c", "abc", true);
+      ("a_c", "ac", false);
+      ("%a%a%", "banana", true);
+      ("%a%a%a%", "banana", true);
+      ("%a%a%a%a%", "banana", false);
+      ("__%", "ab", true);
+      ("__%", "a", false);
+      ("%_%", "x", true);
+      ("%%%", "", true);
+    ]
+  in
+  List.iter
+    (fun (pattern, s, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S like %S" s pattern)
+        expected (m pattern s))
+    cases
+
+let test_pred_semantics () =
+  let row = [| vs "hello"; vnull; vi 3 |] in
+  Alcotest.check t3 "match" T.True
+    (Expr.eval_pred row (Expr.Like (Expr.Col 0, "he%")));
+  Alcotest.check t3 "no match" T.False
+    (Expr.eval_pred row (Expr.Like (Expr.Col 0, "x%")));
+  Alcotest.check t3 "null is unknown" T.Unknown
+    (Expr.eval_pred row (Expr.Like (Expr.Col 1, "%")));
+  match Expr.eval_pred row (Expr.Like (Expr.Col 2, "%")) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "LIKE on an int should be a type error"
+
+let test_sql_like () =
+  let cat = emp_dept_catalog () in
+  let rel = q cat "select ename from emp where ename like '%a%'" in
+  (* ada, dan, fay *)
+  Alcotest.(check int) "contains a" 3 (Relation.cardinality rel);
+  let rel = q cat "select ename from emp where ename not like '_a_'" in
+  (* dan and fay are _a_; everyone else survives *)
+  Alcotest.(check int) "not like" 4 (Relation.cardinality rel);
+  let rel =
+    q cat
+      "select dname from dept where exists (select * from emp where \
+       emp.dept_id = dept.dept_id and ename like 'a%')"
+  in
+  (* only ada matches 'a%', and she works in eng *)
+  Alcotest.(check (list (list string)))
+    "like inside a subquery"
+    [ [ "'eng'" ] ]
+    (List.map
+       (fun row -> [ Value.to_string row.(0) ])
+       (Relation.sorted_rows rel))
+
+let test_like_in_subquery_all_strategies () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    check_equivalent cat
+      "select dname from dept where not exists (select * from emp where \
+       emp.dept_id = dept.dept_id and ename like '%y%')"
+  in
+  Alcotest.(check bool) "consistent" true (Relation.cardinality rel >= 1)
+
+let test_parser_roundtrip () =
+  let src = "select a from t where a like 'x%_y' and not (b like '%')" in
+  let q1 = Sql.Parser.parse src in
+  let q2 = Sql.Parser.parse (Sql.Ast.to_string q1) in
+  Alcotest.(check bool) "roundtrip" true (q1 = q2);
+  (* a quote inside the pattern survives printing *)
+  let q1 = Sql.Parser.parse "select a from t where a like '%''%'" in
+  let q2 = Sql.Parser.parse (Sql.Ast.to_string q1) in
+  Alcotest.(check bool) "escaped quote" true (q1 = q2)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* %-less patterns are exact (up to _), and % on both ends means
+   substring *)
+let prop_exact =
+  QCheck.Test.make ~name:"pattern without wildcards is equality"
+    QCheck.(string_small_of (QCheck.Gen.char_range 'a' 'z'))
+    (fun s -> m s s && (s = "" || not (m s (s ^ "x"))))
+
+let prop_substring =
+  QCheck.Test.make ~name:"%p% is substring search"
+    QCheck.(
+      pair
+        (string_small_of (QCheck.Gen.char_range 'a' 'c'))
+        (string_small_of (QCheck.Gen.char_range 'a' 'c')))
+    (fun (hay, needle) ->
+      let contains =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      m ("%" ^ needle ^ "%") hay = contains)
+
+let () =
+  Alcotest.run "like"
+    [
+      ( "matcher",
+        [
+          Alcotest.test_case "cases" `Quick test_matcher;
+          Alcotest.test_case "3VL semantics" `Quick test_pred_semantics;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "queries" `Quick test_sql_like;
+          Alcotest.test_case "subquery, all strategies" `Quick
+            test_like_in_subquery_all_strategies;
+          Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+        ] );
+      ("properties", [ qtest prop_exact; qtest prop_substring ]);
+    ]

@@ -1,0 +1,202 @@
+(* Metamorphic testing: SQL-level identities that must hold on any
+   database, checked on randomized tables built through the DDL/DML
+   path.  These are an oracle orthogonal to the cross-executor
+   equivalence suite — they catch bugs all executors could share. *)
+
+open Nra
+
+let rng = Tpch.Prng.create 0xC0FFEEL
+
+let exec cat sql =
+  match Nra.exec cat sql with
+  | Ok r -> r
+  | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" sql m)
+
+let card cat sql =
+  match exec cat sql with
+  | Nra.Rows r -> Relation.cardinality r
+  | _ -> Alcotest.fail "expected rows"
+
+let scalar cat sql =
+  match exec cat sql with
+  | Nra.Rows r when Relation.cardinality r = 1 -> (Relation.rows r).(0).(0)
+  | _ -> Alcotest.fail ("expected a single value from " ^ sql)
+
+(* a fresh random table through CREATE + INSERT *)
+let random_table cat name rows =
+  ignore
+    (exec cat
+       (Printf.sprintf
+          "create table %s (id int, a int, b int, primary key (id))" name));
+  let values =
+    List.init rows (fun i ->
+        let v () =
+          if Tpch.Prng.bool rng 0.2 then "null"
+          else string_of_int (Tpch.Prng.int rng 8)
+        in
+        Printf.sprintf "(%d, %s, %s)" i (v ()) (v ()))
+  in
+  if rows > 0 then
+    ignore
+      (exec cat
+         (Printf.sprintf "insert into %s values %s" name
+            (String.concat ", " values)))
+
+let fresh_db () =
+  let cat = Catalog.create () in
+  random_table cat "t" (1 + Tpch.Prng.int rng 40);
+  random_table cat "u" (Tpch.Prng.int rng 30);
+  cat
+
+let random_pred () =
+  let cmp () = [| "="; "<>"; "<"; "<="; ">"; ">=" |].(Tpch.Prng.int rng 6) in
+  let k () = string_of_int (Tpch.Prng.int rng 8) in
+  match Tpch.Prng.int rng 5 with
+  | 0 -> Printf.sprintf "a %s %s" (cmp ()) (k ())
+  | 1 -> Printf.sprintf "a %s b" (cmp ())
+  | 2 -> "a is null"
+  | 3 -> Printf.sprintf "a between %s and %s" (k ()) (k ())
+  | _ -> Printf.sprintf "a %s %s and b is not null" (cmp ()) (k ())
+
+let rounds = 40
+
+let test_count_star_is_cardinality () =
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let p = random_pred () in
+    let n = card cat (Printf.sprintf "select id from t where %s" p) in
+    let c = scalar cat (Printf.sprintf "select count(*) from t where %s" p) in
+    Alcotest.check Test_support.value_testable p (Value.Int n) c
+  done
+
+let test_excluded_middle_under_3vl () =
+  (* |P| + |NOT P| + |unknown P| = |t|, where the unknown rows are those
+     selected by neither *)
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let p = random_pred () in
+    let total = card cat "select id from t" in
+    let yes = card cat (Printf.sprintf "select id from t where %s" p) in
+    let no = card cat (Printf.sprintf "select id from t where not (%s)" p) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %d + %d <= %d" p yes no total)
+      true
+      (yes + no <= total);
+    (* the remainder is exactly the rows where the predicate is unknown:
+       adding IS-NULL guards must recover them *)
+    let unknown =
+      card cat
+        (Printf.sprintf
+           "select id from t where (a is null or b is null) and id not in \
+            (select id from t where %s) and id not in (select id from t \
+            where not (%s))"
+           p p)
+    in
+    Alcotest.(check int) "partition" total (yes + no + unknown)
+  done
+
+let test_group_counts_sum_to_total () =
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let p = random_pred () in
+    let total = card cat (Printf.sprintf "select id from t where %s" p) in
+    let summed =
+      scalar cat
+        (Printf.sprintf
+           "with g as (select a, count(*) as n from t where %s group by a) \
+            select sum(n) from g"
+           p)
+    in
+    let expected = if total = 0 then Value.Null else Value.Int total in
+    Alcotest.check Test_support.value_testable "sum of group counts"
+      expected summed
+  done
+
+let test_distinct_and_limit_bounds () =
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let all = card cat "select a from t" in
+    let distinct = card cat "select distinct a from t" in
+    Alcotest.(check bool) "distinct <= all" true (distinct <= all);
+    let k = Tpch.Prng.int rng 10 in
+    let limited = card cat (Printf.sprintf "select a from t limit %d" k) in
+    Alcotest.(check int) "limit" (min k all) limited;
+    let ordered = card cat "select a from t order by a desc" in
+    Alcotest.(check int) "order by permutes" all ordered
+  done
+
+let test_setop_cardinalities () =
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let a = card cat "select a from t" in
+    let b = card cat "select a from u" in
+    Alcotest.(check int) "union all"
+      (a + b)
+      (card cat "select a from t union all select a from u");
+    let inter = card cat "select a from t intersect all select a from u" in
+    let except = card cat "select a from t except all select a from u" in
+    Alcotest.(check int) "A = (A∩B) + (A−B) as bags" a (inter + except);
+    let union = card cat "select a from t union select a from u" in
+    let du = card cat "select distinct a from t" in
+    let dv = card cat "select distinct a from u" in
+    Alcotest.(check bool) "|A∪B| <= |A|+|B| (sets)" true (union <= du + dv);
+    Alcotest.(check bool) "|A∪B| >= max" true (union >= max du dv)
+  done
+
+let test_in_vs_exists () =
+  (* x IN (select y …) ≡ EXISTS (select * … where y = x) — note the
+     equivalence holds in 3VL for the WHERE-filtered result *)
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let via_in = card cat "select id from t where a in (select a from u)" in
+    let via_exists =
+      card cat
+        "select id from t where exists (select * from u u2 where u2.a = t.a)"
+    in
+    Alcotest.(check int) "IN = EXISTS-with-equality" via_in via_exists;
+    let via_not_in =
+      card cat "select id from t where a not in (select a from u)"
+    in
+    (* NOT IN is stricter than NOT EXISTS when NULLs are around *)
+    let via_not_exists =
+      card cat
+        "select id from t where not exists (select * from u u2 where u2.a \
+         = t.a)"
+    in
+    Alcotest.(check bool) "NOT IN <= NOT EXISTS" true
+      (via_not_in <= via_not_exists)
+  done
+
+let test_delete_is_complement () =
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let p = random_pred () in
+    let total = card cat "select id from t" in
+    let matching = card cat (Printf.sprintf "select id from t where %s" p) in
+    (match exec cat (Printf.sprintf "delete from t where %s" p) with
+    | Nra.Count n -> Alcotest.(check int) "delete count" matching n
+    | _ -> Alcotest.fail "expected count");
+    Alcotest.(check int) "survivors" (total - matching)
+      (card cat "select id from t")
+  done
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "identities",
+        [
+          Alcotest.test_case "count(*) = cardinality" `Quick
+            test_count_star_is_cardinality;
+          Alcotest.test_case "3VL excluded middle" `Quick
+            test_excluded_middle_under_3vl;
+          Alcotest.test_case "group counts sum" `Quick
+            test_group_counts_sum_to_total;
+          Alcotest.test_case "distinct/limit/order bounds" `Quick
+            test_distinct_and_limit_bounds;
+          Alcotest.test_case "set operation cardinalities" `Quick
+            test_setop_cardinalities;
+          Alcotest.test_case "IN vs EXISTS" `Quick test_in_vs_exists;
+          Alcotest.test_case "delete complements select" `Quick
+            test_delete_is_complement;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Section 2 of the paper argues that classical rewrites of ALL / NOT IN
+   are wrong in the presence of NULLs:
+
+     R.A > ALL (select S.B …)  ≠  antijoin(R, S, R.A <= S.B)
+     R.A > ALL (select S.B …)  ≠  R.A > (select max(S.B) …)
+
+   "Readers can convince themselves by assuming that R.A is 5 and S.B is
+   {2, 3, 4, null}."  These tests make the argument executable, and
+   check that the classical executor only uses the antijoin rewrite when
+   the NOT NULL constraints make it sound. *)
+
+open Nra
+open Test_support
+module J = Algebra.Join
+module T = Three_valued
+
+(* One-row R with A = 5; S.B = {2,3,4,NULL}. *)
+let cat_motivating ?(with_null = true) () =
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"rr" ~key:[ "rid" ]
+       [ Schema.column "rid" Ttype.Int; Schema.column "a" Ttype.Int ]
+       [| [| vi 1; vi 5 |] |]);
+  let rows =
+    [ [| vi 1; vi 2 |]; [| vi 2; vi 3 |]; [| vi 3; vi 4 |] ]
+    @ if with_null then [ [| vi 4; vnull |] ] else []
+  in
+  Catalog.register cat
+    (Table.create ~name:"ss" ~key:[ "sid" ]
+       [ Schema.column "sid" Ttype.Int; Schema.column "b" Ttype.Int ]
+       (Array.of_list rows));
+  cat
+
+let all_query = "select a from rr where a > all (select b from ss)"
+
+let test_motivating_example () =
+  (* with the NULL present, 5 > ALL {2,3,4,null} is Unknown: empty result *)
+  let cat = cat_motivating () in
+  let rel = check_equivalent cat all_query in
+  Alcotest.(check int) "unknown is not selected" 0 (Relation.cardinality rel);
+  (* without the NULL it is True *)
+  let cat = cat_motivating ~with_null:false () in
+  let rel = check_equivalent cat all_query in
+  Alcotest.(check int) "plain ALL holds" 1 (Relation.cardinality rel)
+
+let test_antijoin_rewrite_is_wrong_under_nulls () =
+  let cat = cat_motivating () in
+  let r = Table.relation (Catalog.table cat "rr") in
+  let s = Table.relation (Catalog.table cat "ss") in
+  (* the naive rewrite: antijoin on A <= B *)
+  let anti =
+    J.join J.Anti ~on:(Expr.Cmp (T.Le, Expr.Col 1, Expr.Col 3)) r s
+  in
+  Alcotest.(check int) "antijoin wrongly keeps the tuple" 1
+    (Relation.cardinality anti);
+  let correct = check_equivalent cat all_query in
+  Alcotest.(check bool) "so it disagrees with the real semantics" false
+    (Relation.cardinality anti = Relation.cardinality correct)
+
+let test_max_rewrite_is_wrong_under_nulls () =
+  let cat = cat_motivating () in
+  (* MAX ignores NULLs: max{2,3,4,null} = 4 and 5 > 4 — wrongly true *)
+  let via_max =
+    q cat "select a from rr where a > (select max(b) from ss)"
+  in
+  Alcotest.(check int) "max rewrite says yes" 1 (Relation.cardinality via_max);
+  let correct = check_equivalent cat all_query in
+  Alcotest.(check int) "true ALL says no" 0 (Relation.cardinality correct)
+
+let test_not_in_with_null_in_set () =
+  let cat = cat_motivating () in
+  (* x NOT IN (set containing NULL) is never True *)
+  let rel =
+    check_equivalent cat "select a from rr where a not in (select b from ss)"
+  in
+  Alcotest.(check int) "NOT IN with NULL in set" 0 (Relation.cardinality rel);
+  (* …except vacuously over the empty set *)
+  let rel =
+    check_equivalent cat
+      "select a from rr where a not in (select b from ss where b > 100)"
+  in
+  Alcotest.(check int) "NOT IN over empty set" 1 (Relation.cardinality rel)
+
+let test_null_linking_attribute () =
+  (* NULL on the left of IN / NOT IN *)
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"rr" ~key:[ "rid" ]
+       [ Schema.column "rid" Ttype.Int; Schema.column "a" Ttype.Int ]
+       [| [| vi 1; vnull |] |]);
+  Catalog.register cat
+    (Table.create ~name:"ss" ~key:[ "sid" ]
+       [ Schema.column "sid" Ttype.Int; Schema.column "b" Ttype.Int ]
+       [| [| vi 1; vi 5 |] |]);
+  List.iter
+    (fun (sql, expected) ->
+      let rel = check_equivalent cat sql in
+      Alcotest.(check int) sql expected (Relation.cardinality rel))
+    [
+      ("select rid from rr where a in (select b from ss)", 0);
+      ("select rid from rr where a not in (select b from ss)", 0);
+      (* with an empty subquery both are decided *)
+      ("select rid from rr where a in (select b from ss where b > 9)", 0);
+      ("select rid from rr where a not in (select b from ss where b > 9)", 1);
+      (* EXISTS ignores the NULL attribute entirely *)
+      ("select rid from rr where exists (select * from ss)", 1);
+    ]
+
+let test_exists_on_all_null_row () =
+  (* EXISTS is true even if the inner row is all-NULL in its payload *)
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"rr" ~key:[ "rid" ]
+       [ Schema.column "rid" Ttype.Int ]
+       [| [| vi 1 |] |]);
+  Catalog.register cat
+    (Table.create ~name:"ss" ~key:[ "sid" ]
+       [ Schema.column "sid" Ttype.Int; Schema.column "b" Ttype.Int ]
+       [| [| vi 1; vnull |] |]);
+  let rel = check_equivalent cat "select rid from rr where exists (select b from ss)" in
+  Alcotest.(check int) "exists sees the row" 1 (Relation.cardinality rel)
+
+(* correlated variant of the motivating example: a NULL inside one
+   group must not leak into another group's verdict *)
+let test_null_confined_to_group () =
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"rr" ~key:[ "rid" ]
+       [ Schema.column "rid" Ttype.Int; Schema.column "a" Ttype.Int ]
+       [| [| vi 1; vi 5 |]; [| vi 2; vi 5 |] |]);
+  Catalog.register cat
+    (Table.create ~name:"ss" ~key:[ "sid" ]
+       [
+         Schema.column "sid" Ttype.Int;
+         Schema.column "rref" Ttype.Int;
+         Schema.column "b" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vi 1; vi 2 |];
+         [| vi 2; vi 1; vnull |];
+         (* group of rid 2 has no NULL *)
+         [| vi 3; vi 2; vi 2 |];
+       |]);
+  let rel =
+    check_equivalent cat
+      "select rid from rr where a > all (select b from ss where rref = rid)"
+  in
+  check_rows "only rid 2 qualifies" [ [ Some 2 ] ] rel
+
+let test_classical_constraint_sensitivity () =
+  (* the classical executor may antijoin exactly when both sides are
+     declared NOT NULL (paper: the NOT NULL constraint on
+     l_extendedprice lets System A antijoin Query 1) *)
+  let mk declare =
+    let cat = Catalog.create () in
+    Catalog.register cat
+      (Table.create ~name:"rr" ~key:[ "rid" ]
+         [
+           Schema.column "rid" Ttype.Int;
+           Schema.column ~not_null:true "a" Ttype.Int;
+         ]
+         [| [| vi 1; vi 5 |] |]);
+    Catalog.register cat
+      (Table.create ~name:"ss" ~key:[ "sid" ]
+         [
+           Schema.column "sid" Ttype.Int;
+           Schema.column ~not_null:declare "b" Ttype.Int;
+         ]
+         [| [| vi 1; vi 2 |] |]);
+    cat
+  in
+  let plan_of cat =
+    match Planner.Analyze.analyze_string cat all_query with
+    | Ok t -> Exec.Classical.plan cat t
+    | Error m -> Alcotest.fail m
+  in
+  (match plan_of (mk true) with
+  | [ (2, Exec.Classical.Antijoin) ] -> ()
+  | p ->
+      Alcotest.fail
+        (Printf.sprintf "expected antijoin with NOT NULL, got %s"
+           (String.concat ","
+              (List.map
+                 (fun (_, s) -> Exec.Classical.strategy_to_string s)
+                 p))));
+  match plan_of (mk false) with
+  | [ (2, Exec.Classical.Iterate) ] -> ()
+  | _ -> Alcotest.fail "expected nested iteration without NOT NULL"
+
+let () =
+  Alcotest.run "null_semantics"
+    [
+      ( "section 2",
+        [
+          Alcotest.test_case "5 > ALL {2,3,4,null}" `Quick
+            test_motivating_example;
+          Alcotest.test_case "antijoin rewrite is wrong" `Quick
+            test_antijoin_rewrite_is_wrong_under_nulls;
+          Alcotest.test_case "max rewrite is wrong" `Quick
+            test_max_rewrite_is_wrong_under_nulls;
+        ] );
+      ( "null placement",
+        [
+          Alcotest.test_case "NOT IN with NULL in set" `Quick
+            test_not_in_with_null_in_set;
+          Alcotest.test_case "NULL linking attribute" `Quick
+            test_null_linking_attribute;
+          Alcotest.test_case "EXISTS on NULL payload" `Quick
+            test_exists_on_all_null_row;
+          Alcotest.test_case "NULL confined to its group" `Quick
+            test_null_confined_to_group;
+        ] );
+      ( "classical constraints",
+        [
+          Alcotest.test_case "NOT NULL toggles the antijoin" `Quick
+            test_classical_constraint_sensitivity;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+open Nra
+open Test_support
+
+let mk_table () =
+  Table.create ~name:"t" ~key:[ "id" ]
+    [
+      Schema.column "id" Ttype.Int;
+      Schema.column "grp" Ttype.Int;
+      Schema.column "v" Ttype.Int;
+    ]
+    (Array.init 100 (fun i -> [| vi i; vi (i mod 7); vi (100 - i) |]))
+
+let test_table_create () =
+  let t = mk_table () in
+  Alcotest.(check string) "name" "t" (Table.name t);
+  Alcotest.(check int) "cardinality" 100 (Table.cardinality t);
+  Alcotest.(check (list string)) "key" [ "id" ] (Table.key_columns t);
+  let cols = Schema.columns (Table.schema t) in
+  Alcotest.(check bool) "key is NOT NULL" true cols.(0).Schema.not_null;
+  Alcotest.(check bool) "key flagged" true cols.(0).Schema.is_key;
+  Alcotest.(check string) "qualified" "t.id"
+    (Schema.qualified_name cols.(0))
+
+let test_table_errors () =
+  (match
+     Table.create ~name:"bad" ~key:[] [ Schema.column "a" Ttype.Int ] [||]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted empty key");
+  (match
+     Table.create ~name:"bad" ~key:[ "zz" ]
+       [ Schema.column "a" Ttype.Int ]
+       [||]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted unknown key column");
+  match
+    Table.create ~name:"bad" ~key:[ "a" ]
+      [ Schema.column "a" Ttype.Int ]
+      [| [| vnull |] |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted NULL key"
+
+let test_alias () =
+  let t = Table.alias (mk_table ()) "x" in
+  Alcotest.(check string) "renamed" "x.id"
+    (Schema.qualified_name (Schema.col (Table.schema t) 0));
+  Alcotest.(check int) "same rows" 100 (Table.cardinality t)
+
+let test_hash_index () =
+  let t = mk_table () in
+  let idx = Hash_index.build (Table.relation t) [| 1 |] in
+  Alcotest.(check int) "entries" 100 (Hash_index.cardinality idx);
+  let hits = Hash_index.probe idx [| vi 3 |] in
+  (* ids ≡ 3 (mod 7) in 0..99: 3, 10, …, 94 *)
+  Alcotest.(check int) "group 3 size" 14 (List.length hits);
+  List.iter
+    (fun id ->
+      let row = (Relation.rows (Table.relation t)).(id) in
+      Alcotest.check value_testable "key matches" (vi 3) row.(1))
+    hits;
+  Alcotest.(check (list int)) "null probe" []
+    (Hash_index.probe idx [| vnull |]);
+  Alcotest.(check (list int)) "miss" [] (Hash_index.probe idx [| vi 99 |])
+
+let test_hash_index_skips_null_keys () =
+  let rel =
+    Relation.make
+      (Schema.of_columns [ Schema.column "a" Ttype.Int ])
+      [| [| vi 1 |]; [| vnull |]; [| vi 1 |] |]
+  in
+  let idx = Hash_index.build rel [| 0 |] in
+  Alcotest.(check int) "null row not indexed" 2 (Hash_index.cardinality idx);
+  Alcotest.(check int) "both non-null rows found" 2
+    (List.length (Hash_index.probe idx [| vi 1 |]))
+
+let test_sorted_index () =
+  let t = mk_table () in
+  let idx = Sorted_index.build (Table.relation t) [| 2 |] in
+  (* v = 100 - id, so range [95, 98] hits ids 2..5 *)
+  let ids =
+    Sorted_index.range idx ~lo:(Sorted_index.Incl (vi 95))
+      ~hi:(Sorted_index.Incl (vi 98))
+  in
+  Alcotest.(check (list int)) "range ids" [ 2; 3; 4; 5 ]
+    (List.sort compare ids);
+  let ids =
+    Sorted_index.range idx ~lo:(Sorted_index.Excl (vi 95))
+      ~hi:Sorted_index.Unbounded
+  in
+  Alcotest.(check int) "open range" 5 (List.length ids);
+  Alcotest.(check (list int)) "probe exact" [ 42 ]
+    (Sorted_index.probe idx [| vi 58 |]);
+  Alcotest.(check (list int)) "probe null" []
+    (Sorted_index.probe idx [| vnull |])
+
+let test_sorted_index_multi () =
+  let t = mk_table () in
+  let idx = Sorted_index.build (Table.relation t) [| 1; 0 |] in
+  Alcotest.(check (list int)) "composite probe" [ 10 ]
+    (Sorted_index.probe idx [| vi 3; vi 10 |])
+
+let test_catalog () =
+  let cat = Catalog.create () in
+  Catalog.register cat (mk_table ());
+  Alcotest.(check bool) "mem" true (Catalog.mem cat "t");
+  Alcotest.(check bool) "not mem" false (Catalog.mem cat "u");
+  Alcotest.(check int) "pk index auto-built" 1
+    (match Catalog.hash_index cat ~table:"t" [ "id" ] with
+    | Some idx -> List.length (Hash_index.probe idx [| vi 5 |])
+    | None -> -1);
+  Catalog.create_hash_index cat ~table:"t" [ "grp" ];
+  Catalog.create_sorted_index cat ~table:"t" [ "v" ];
+  Alcotest.(check bool) "secondary hash found" true
+    (Catalog.hash_index cat ~table:"t" [ "grp" ] <> None);
+  Alcotest.(check bool) "covering prefers widest" true
+    (match Catalog.hash_index_covering cat ~table:"t" [ "grp"; "id" ] with
+    | Some (_, cols) -> List.length cols = 1
+    | None -> false);
+  Alcotest.(check bool) "sorted_index_on" true
+    (Catalog.sorted_index_on cat ~table:"t" "v" <> None);
+  Catalog.drop_indexes cat ~table:"t";
+  Alcotest.(check bool) "secondary dropped" true
+    (Catalog.hash_index cat ~table:"t" [ "grp" ] = None);
+  Alcotest.(check bool) "pk survives" true
+    (Catalog.hash_index cat ~table:"t" [ "id" ] <> None)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* indexes agree with a full scan *)
+let prop_index_vs_scan =
+  QCheck.Test.make ~name:"hash and sorted probes agree with scans"
+    QCheck.(pair (small_list (option (int_bound 10))) (option (int_bound 10)))
+    (fun (vals, probe_v) ->
+      let to_v = function None -> Value.Null | Some i -> Value.Int i in
+      let rel =
+        Relation.make
+          (Schema.of_columns [ Schema.column "a" Ttype.Int ])
+          (Array.of_list (List.map (fun v -> [| to_v v |]) vals))
+      in
+      let probe = [| to_v probe_v |] in
+      let expect =
+        if Value.is_null probe.(0) then []
+        else
+          List.filteri (fun _ v -> v = probe_v) vals |> List.length
+          |> fun n -> List.init n Fun.id
+      in
+      let hash_hits =
+        Hash_index.probe (Hash_index.build rel [| 0 |]) probe
+      in
+      let sorted_hits =
+        Sorted_index.probe (Sorted_index.build rel [| 0 |]) probe
+      in
+      List.length hash_hits = List.length expect
+      && List.length sorted_hits = List.length expect)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "create" `Quick test_table_create;
+          Alcotest.test_case "errors" `Quick test_table_errors;
+          Alcotest.test_case "alias" `Quick test_alias;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "hash" `Quick test_hash_index;
+          Alcotest.test_case "hash skips NULL keys" `Quick
+            test_hash_index_skips_null_keys;
+          Alcotest.test_case "sorted" `Quick test_sorted_index;
+          Alcotest.test_case "sorted composite" `Quick test_sorted_index_multi;
+        ] );
+      ("catalog", [ Alcotest.test_case "registry" `Quick test_catalog ]);
+      ("properties", [ qtest prop_index_vs_scan ]);
+    ]

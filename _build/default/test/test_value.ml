@@ -1,0 +1,135 @@
+open Nra
+open Test_support
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let arb_value =
+  let open QCheck in
+  let base =
+    oneof
+      [
+        always Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Value.String s) (string_small_of Gen.printable);
+        map (fun d -> Value.Date d) (int_range (-100_000) 100_000);
+      ]
+  in
+  base
+
+let test_is_null () =
+  Alcotest.(check bool) "null" true (Value.is_null Value.Null);
+  Alcotest.(check bool) "int" false (Value.is_null (vi 0))
+
+let test_compare_basics () =
+  Alcotest.(check int) "null = null" 0 (Value.compare Value.Null Value.Null);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare Value.Null (vi (-1000)) < 0);
+  Alcotest.(check int) "int/float mixed" 0
+    (Value.compare (vi 3) (vf 3.0));
+  Alcotest.(check bool) "int < float" true (Value.compare (vi 3) (vf 3.5) < 0);
+  Alcotest.(check bool) "string order" true
+    (Value.compare (vs "abc") (vs "abd") < 0)
+
+let test_hash_consistent_with_equal () =
+  Alcotest.(check int) "int/float hash agree" (Value.hash (vi 7))
+    (Value.hash (vf 7.0))
+
+let test_cmp3 () =
+  Alcotest.(check (option int)) "null lhs" None (Value.cmp3 Value.Null (vi 1));
+  Alcotest.(check (option int)) "null rhs" None (Value.cmp3 (vi 1) Value.Null);
+  Alcotest.(check (option int)) "lt" (Some (-1)) (Value.cmp3 (vi 1) (vi 2))
+
+let test_arith () =
+  Alcotest.check value_testable "add" (vi 5) (Value.add (vi 2) (vi 3));
+  Alcotest.check value_testable "add null" Value.Null
+    (Value.add (vi 2) Value.Null);
+  Alcotest.check value_testable "mixed promotes" (vf 5.5)
+    (Value.add (vi 2) (vf 3.5));
+  Alcotest.check value_testable "div by zero is null" Value.Null
+    (Value.div (vi 2) (vi 0));
+  Alcotest.check value_testable "neg" (vi (-2)) (Value.neg (vi 2));
+  Alcotest.check value_testable "date + days" (Value.Date 40)
+    (Value.add (Value.Date 10) (vi 30));
+  Alcotest.check value_testable "days + date" (Value.Date 40)
+    (Value.add (vi 30) (Value.Date 10));
+  Alcotest.check value_testable "date - days" (Value.Date 5)
+    (Value.sub (Value.Date 10) (vi 5));
+  Alcotest.check value_testable "date - date" (vi 7)
+    (Value.sub (Value.Date 17) (Value.Date 10));
+  Alcotest.check value_testable "date + null" Value.Null
+    (Value.add (Value.Date 10) Value.Null);
+  Alcotest.(check_raises) "string arithmetic"
+    (Value.Type_error "arithmetic on non-numeric values (string, int)")
+    (fun () -> ignore (Value.add (vs "x") (vi 1)))
+
+let test_dates () =
+  (match Value.date_of_string "1994-03-17" with
+  | Value.Date d ->
+      Alcotest.(check string) "roundtrip" "1994-03-17" (Value.string_of_date d)
+  | _ -> Alcotest.fail "not a date");
+  let d1 = Value.date_of_string "1992-01-01"
+  and d2 = Value.date_of_string "1998-08-02" in
+  (match (d1, d2) with
+  | Value.Date a, Value.Date b ->
+      Alcotest.(check int) "TPC-H span" 2405 (b - a)
+  | _ -> Alcotest.fail "not dates");
+  Alcotest.(check bool) "epoch" true
+    (Value.equal (Value.date_of_string "1970-01-01") (Value.Date 0));
+  List.iter
+    (fun bad ->
+      match Value.date_of_string bad with
+      | exception Value.Type_error _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed date " ^ bad))
+    [ "1994/03/17"; "94-03-17"; "1994-13-01"; "1994-00-10"; "abcd-ef-gh" ]
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"compare is antisymmetric"
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0))
+
+let prop_compare_transitive =
+  QCheck.Test.make ~name:"compare is transitive"
+    QCheck.(triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      let le x y = Value.compare x y <= 0 in
+      if le a b && le b c then le a c else true)
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal values hash equally"
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      if Value.equal a b then Value.hash a = Value.hash b else true)
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date string roundtrip"
+    QCheck.(int_range (-200_000) 200_000)
+    (fun d ->
+      match Value.date_of_string (Value.string_of_date d) with
+      | Value.Date d' -> d = d'
+      | _ -> false)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "is_null" `Quick test_is_null;
+          Alcotest.test_case "compare" `Quick test_compare_basics;
+          Alcotest.test_case "hash/equal" `Quick
+            test_hash_consistent_with_equal;
+          Alcotest.test_case "cmp3" `Quick test_cmp3;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "dates" `Quick test_dates;
+        ] );
+      ( "properties",
+        [
+          qtest prop_compare_total;
+          qtest prop_compare_transitive;
+          qtest prop_equal_hash;
+          qtest prop_date_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* Common table expressions: materialization, chaining, use inside
+   subqueries, cleanup, and error cases. *)
+
+open Nra
+open Test_support
+
+let test_basic () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    q cat
+      "with rich as (select ename, salary from emp where salary > 65) \
+       select ename from rich order by ename"
+  in
+  (* ada 90, cyd 70, eve 80 *)
+  Alcotest.(check int) "rows" 3 (Relation.cardinality rel);
+  Alcotest.(check bool) "temporary table cleaned up" false
+    (Catalog.mem cat "rich")
+
+let test_star_hides_rowid () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    q cat "with t as (select dept_id, budget from dept) select * from t"
+  in
+  Alcotest.(check int) "only the two selected columns" 2
+    (Schema.arity (Relation.schema rel));
+  (* but the synthetic key remains addressable *)
+  let rel =
+    q cat
+      "with t as (select dept_id from dept) select __rowid from t where \
+       __rowid = 0"
+  in
+  Alcotest.(check int) "rowid addressable" 1 (Relation.cardinality rel)
+
+let test_chained_ctes () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    q cat
+      "with paid as (select dept_id, salary from emp where salary is not \
+       null), tops as (select dept_id, max(salary) as m from paid group by \
+       dept_id) select m from tops order by m desc limit 1"
+  in
+  check_rows "max of maxima" [ [ Some 90 ] ] rel
+
+let test_cte_in_subquery () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    check_equivalent cat
+      "with busy as (select owner_dept from project where hours is not \
+       null) select dname from dept where exists (select * from busy where \
+       busy.owner_dept = dept.dept_id)"
+  in
+  Alcotest.(check int) "departments with logged projects" 3
+    (Relation.cardinality rel)
+
+let test_cte_of_setop_and_nested () =
+  let cat = emp_dept_catalog () in
+  let rel =
+    q cat
+      "with names as (select ename as n from emp union select dname as n \
+       from dept) select count(*) from names"
+  in
+  check_rows "6 employees + 4 departments" [ [ Some 10 ] ] rel;
+  let rel =
+    q cat
+      "with solvent as (select dept_id from dept where budget >= all \
+       (select hours from project where project.owner_dept = \
+       dept.dept_id)) select count(*) from solvent"
+  in
+  Alcotest.(check int) "nested query inside a CTE" 1
+    (Relation.cardinality rel)
+
+let test_errors_and_cleanup () =
+  let cat = emp_dept_catalog () in
+  (match Nra.query cat "with emp as (select * from dept) select * from emp"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a CTE shadowing a table");
+  (* a failing main statement must still clean up the CTE *)
+  (match
+     Nra.query cat "with t as (select dept_id from dept) select nosuch from t"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown column");
+  Alcotest.(check bool) "cleaned up after failure" false (Catalog.mem cat "t");
+  (* exec-only commands are rejected by query *)
+  match Nra.query cat "drop table dept" with
+  | Error m ->
+      Alcotest.(check bool) "mentions exec" true
+        (String.length m > 0);
+      Alcotest.(check bool) "table untouched" true (Catalog.mem cat "dept")
+  | Ok _ -> Alcotest.fail "query performed DDL"
+
+let () =
+  Alcotest.run "with"
+    [
+      ( "ctes",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "star hides rowid" `Quick test_star_hides_rowid;
+          Alcotest.test_case "chained" `Quick test_chained_ctes;
+          Alcotest.test_case "inside subqueries" `Quick test_cte_in_subquery;
+          Alcotest.test_case "setops and nesting" `Quick
+            test_cte_of_setop_and_nested;
+          Alcotest.test_case "errors and cleanup" `Quick
+            test_errors_and_cleanup;
+        ] );
+    ]
