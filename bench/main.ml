@@ -81,10 +81,10 @@ let run_strategy cat strategy sql =
 let strategies () =
   [ ("native", Nra.Classical); ("nra-orig", Nra.Nra_original);
     ("nra-opt", Nra.Nra_optimized) ]
-  @
-  if !run_full then
-    [ ("nra-full", Nra.Nra_full); ("hybrid", Nra.Hybrid) ]
-  else []
+  @ (if !run_full then
+       [ ("nra-full", Nra.Nra_full); ("hybrid", Nra.Hybrid) ]
+     else [])
+  @ [ ("auto", Nra.Auto) ]
 
 let header title detail =
   Printf.printf "\n== %s ==\n   %s\n" title detail
@@ -111,15 +111,76 @@ let outer_block_size cat sql =
       let rel = Nra.Exec.Frame.block_relation t.Nra.Planner.Analyze.root in
       Nra.Relation.cardinality rel
 
-let sweep cat sqls =
+(* machine-readable record of every sweep point, dumped as
+   BENCH_subqueries.json at the end of the run *)
+type point = {
+  fig : string;
+  outer : int;
+  result_rows : int;
+  auto_pick : string;
+  runs : (string * cost) list;
+}
+
+let points : point list ref = ref []
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let emit_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"scale\": %g,\n  \"points\": [\n" !scale);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"figure\": %s, \"outer\": %d, \"result_rows\": %d, \
+            \"auto_pick\": %s, \"strategies\": ["
+           (json_string p.fig) p.outer p.result_rows
+           (json_string p.auto_pick));
+      List.iteri
+        (fun j (name, c) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "{\"name\": %s, \"cpu_s\": %.6f, \"sim_s\": %.4f}"
+               (json_string name) c.cpu c.sim))
+        p.runs;
+      Buffer.add_string buf "]}")
+    (List.rev !points);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d points)\n" path (List.length !points)
+
+let sweep ~fig cat sqls =
   print_series_header ();
   List.iter
     (fun sql ->
       let costs =
-        List.map (fun (_, s) -> run_strategy cat s sql) (strategies ())
+        List.map (fun (n, s) -> (n, run_strategy cat s sql)) (strategies ())
       in
-      let label = Printf.sprintf "%d" (outer_block_size cat sql) in
-      print_series_row label (List.hd costs).rows costs)
+      let outer = outer_block_size cat sql in
+      let auto_pick =
+        match Nra.auto_choice cat sql with
+        | Ok s -> Nra.strategy_to_string s
+        | Error m -> "error: " ^ m
+      in
+      let result_rows = (snd (List.hd costs)).rows in
+      points :=
+        { fig; outer; result_rows; auto_pick; runs = costs } :: !points;
+      print_series_row (string_of_int outer) result_rows (List.map snd costs))
     sqls
 
 (* ---------- the data ---------- *)
@@ -144,8 +205,17 @@ let cat =
     c.Iosim.t_fetch_ms;
   cat
 
-(* the paper's block sizes as fractions of the base tables *)
-let q1_fractions = [ 4_000.; 8_000.; 12_000.; 16_000. ]
+(* statistics for the auto strategy; collection is pure CPU, so the
+   simulated numbers below are unaffected *)
+let () =
+  match Nra.exec cat "analyze" with
+  | Ok (Nra.Done m) -> Printf.printf "%s (for --strategy auto)\n" m
+  | _ -> prerr_endline "warning: ANALYZE failed; auto will use defaults"
+
+(* the paper's block sizes as fractions of the base tables, extended
+   below the paper's smallest point so the auto strategy's crossover
+   (native wins on tiny outer blocks, NRA past it) is visible *)
+let q1_fractions = [ 500.; 1_500.; 4_000.; 8_000.; 12_000.; 16_000. ]
                    |> List.map (fun n -> n /. 1_500_000.)
 
 let part_fractions = [ 12_000.; 24_000.; 36_000.; 48_000. ]
@@ -187,18 +257,18 @@ let figure4 () =
     "one-level ALL subquery over orders/lineitem; native = nested \
      iteration with the l_orderkey index (no NOT NULL on \
      l_extendedprice, so no antijoin)";
-  sweep cat (q1_sqls ())
+  sweep ~fig:"4" cat (q1_sqls ())
 
 let figure5 () =
   header "Figure 5: Query 2a (mixed ANY / NOT EXISTS)"
     "linear two-level; native = semijoin over antijoin, bottom-up";
-  sweep cat (q2_sqls Q.Any)
+  sweep ~fig:"5" cat (q2_sqls Q.Any)
 
 let figure6 () =
   header "Figure 6: Query 2b (negative ALL / NOT EXISTS)"
     "same query with ALL: the native approach must fall back to nested \
      iteration (ps_supplycost is nullable)";
-  sweep cat (q2_sqls Q.All)
+  sweep ~fig:"6" cat (q2_sqls Q.All)
 
 let figure789 fig name ~quant ~exists =
   List.iter
@@ -209,7 +279,12 @@ let figure789 fig name ~quant ~exists =
            name (variant_name variant))
         "tree-correlated two-level (innermost block references both \
          enclosing blocks); native = nested iteration with indexes";
-      sweep cat (q3_sqls ~quant ~exists ~variant))
+      sweep
+        ~fig:
+          (Printf.sprintf "%d%s" fig
+             (match variant with Q.A -> "a" | Q.B -> "b" | Q.C -> "c"))
+        cat
+        (q3_sqls ~quant ~exists ~variant))
     [ Q.A; Q.B; Q.C ]
 
 let figure10 () =
@@ -400,4 +475,5 @@ let () =
   if wanted 10 then figure10 ();
   if !run_ablation && !selected_figures = [] then ablations ();
   if !run_micro && !selected_figures = [] then micro ();
+  if !points <> [] then emit_json "BENCH_subqueries.json";
   print_newline ()

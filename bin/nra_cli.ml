@@ -1,8 +1,9 @@
 (* Command-line front end: run SQL with any evaluation strategy against
    a generated TPC-H catalog, inspect plans, or start a small REPL.
 
-     dune exec bin/nra_cli.exe -- query "select ..." --strategy nra-optimized
-     dune exec bin/nra_cli.exe -- explain "select ..."
+     dune exec bin/nra_cli.exe -- query "select ..." --strategy auto
+     dune exec bin/nra_cli.exe -- explain "select ..." --costs
+     dune exec bin/nra_cli.exe -- analyze [table]
      dune exec bin/nra_cli.exe -- repl --scale 0.01
      dune exec bin/nra_cli.exe -- tables *)
 
@@ -47,7 +48,9 @@ let strategy =
   let doc =
     "Evaluation strategy: naive (nested iteration), classical \
      (semijoin/antijoin unnesting), nra-original, nra-optimized or \
-     nra-full (the paper's approach)."
+     nra-full (the paper's approach), hybrid (Section 6 dispatch), or \
+     auto (cost-based: ANALYZE statistics price every strategy and the \
+     cheapest runs)."
   in
   Arg.(
     value & opt strategy_conv Nra.Nra_optimized & info [ "strategy"; "s" ] ~doc)
@@ -81,6 +84,9 @@ let timing =
 
 let run_query strategy scale seed null_rate not_null csv timing sql =
   let cat = make_catalog scale seed null_rate not_null in
+  (* statistics collection is pure CPU (no Iosim charges), so Auto's
+     choice is informed without distorting the reported simulation *)
+  if strategy = Nra.Auto then ignore (Nra.exec cat "analyze");
   Nra_storage.Iosim.reset ();
   let t0 = Unix.gettimeofday () in
   match Nra.query ~strategy cat sql with
@@ -90,10 +96,18 @@ let run_query strategy scale seed null_rate not_null csv timing sql =
       else Format.printf "%a@." Nra.Relation.pp rel;
       if timing then begin
         let c = Nra_storage.Iosim.counters () in
+        let strategy_label =
+          match strategy with
+          | Nra.Auto -> (
+              match Nra.auto_choice cat sql with
+              | Ok s -> "auto -> " ^ Nra.strategy_to_string s
+              | Error _ -> "auto")
+          | s -> Nra.strategy_to_string s
+        in
         Printf.printf
           "cpu: %.3fs   simulated-2005-disk: %.2fs   strategy: %s\n" dt
           (Nra_storage.Iosim.simulated_seconds ())
-          (Nra.strategy_to_string strategy);
+          strategy_label;
         Printf.printf
           "io: %d seq pages, %d random pages, %d tuples fetched, cache \
            %d hit / %d miss\n"
@@ -113,11 +127,27 @@ let query_cmd =
         (const run_query $ strategy $ scale $ seed $ null_rate $ not_null
        $ csv $ timing $ sql_arg))
 
-let run_explain scale seed null_rate not_null sql =
+let costs =
+  let doc =
+    "Also price every evaluation strategy with the cost model (after \
+     ANALYZE over the generated tables) and show the strategy `auto' \
+     would run."
+  in
+  Arg.(value & flag & info [ "costs" ] ~doc)
+
+let run_explain scale seed null_rate not_null costs sql =
   let cat = make_catalog scale seed null_rate not_null in
   match Nra.explain cat sql with
   | Ok text ->
       print_endline text;
+      if costs then begin
+        ignore (Nra.exec cat "analyze");
+        match Nra.explain_costs cat sql with
+        | Ok report ->
+            print_newline ();
+            print_string report
+        | Error m -> Printf.printf "cost estimation failed: %s\n" m
+      end;
       `Ok ()
   | Error m -> `Error (false, m)
 
@@ -127,11 +157,14 @@ let explain_cmd =
       ~doc:
         "Show the paper's tree expression for a query, its nesting \
          depth/linearity, and the strategy the classical baseline would \
-         pick per subquery."
+         pick per subquery; with $(b,--costs), the cost model's \
+         per-strategy estimates and auto's choice."
   in
   Cmd.v info
     Term.(
-      ret (const run_explain $ scale $ seed $ null_rate $ not_null $ sql_arg))
+      ret
+        (const run_explain $ scale $ seed $ null_rate $ not_null $ costs
+       $ sql_arg))
 
 let run_tables scale seed null_rate not_null =
   let cat = make_catalog scale seed null_rate not_null in
@@ -141,6 +174,37 @@ let tables_cmd =
   let info = Cmd.info "tables" ~doc:"List the generated tables." in
   Cmd.v info
     Term.(const run_tables $ scale $ seed $ null_rate $ not_null)
+
+let table_arg =
+  let doc = "Analyze only this table (default: every table)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc)
+
+let run_analyze scale seed null_rate not_null table =
+  let cat = make_catalog scale seed null_rate not_null in
+  let sql =
+    match table with Some t -> "analyze " ^ t | None -> "analyze"
+  in
+  match Nra.exec cat sql with
+  | Ok (Nra.Done msg) ->
+      print_endline msg;
+      let store = Nra.Stats.Stats_store.of_catalog cat in
+      Format.printf "%a@." Nra.Stats.Stats_store.pp store;
+      `Ok ()
+  | Ok _ -> `Error (false, "unexpected result")
+  | Error m -> `Error (false, m)
+
+let analyze_cmd =
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Collect optimizer statistics (row counts, NDV, null fractions, \
+         histograms, clustering) over the generated tables and print \
+         them."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
 let run_repl strategy scale seed null_rate not_null =
   let cat = make_catalog scale seed null_rate not_null in
@@ -184,6 +248,6 @@ let main =
         "Nested relational processing of SQL subqueries (Cao & Badia, \
          SIGMOD 2005)."
   in
-  Cmd.group info [ query_cmd; explain_cmd; tables_cmd; repl_cmd ]
+  Cmd.group info [ query_cmd; explain_cmd; analyze_cmd; tables_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main)

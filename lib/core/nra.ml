@@ -53,6 +53,15 @@ module Tpch = struct
   module Queries = Nra_tpch.Queries
 end
 
+module Stats = struct
+  module Histogram = Nra_stats.Histogram
+  module Col_stats = Nra_stats.Col_stats
+  module Table_stats = Nra_stats.Table_stats
+  module Stats_store = Nra_stats.Stats_store
+  module Cardinality = Nra_stats.Cardinality
+  module Cost = Nra_stats.Cost
+end
+
 type strategy =
   | Naive
   | Classical
@@ -61,6 +70,7 @@ type strategy =
   | Nra_optimized
   | Nra_full
   | Hybrid
+  | Auto
 
 let strategies =
   [
@@ -71,6 +81,7 @@ let strategies =
     ("nra-optimized", Nra_optimized);
     ("nra-full", Nra_full);
     ("hybrid", Hybrid);
+    ("auto", Auto);
   ]
 
 let strategy_of_string s = List.assoc_opt (String.lowercase_ascii s) strategies
@@ -85,7 +96,20 @@ let classical_fully_applies cat t =
     (fun (_, s) -> s <> Nra_exec.Classical.Iterate)
     (Nra_exec.Classical.plan cat t)
 
-let run_analyzed strategy cat t =
+(* the cost model's choice, mapped into this facade's strategy type;
+   estimation is pure (no Iosim charges) but involves the executors'
+   planners, so any failure falls back to the default strategy *)
+let auto_pick cat t =
+  match Nra_stats.Cost.choose cat t with
+  | Nra_stats.Cost.Naive -> Naive
+  | Nra_stats.Cost.Classical -> Classical
+  | Nra_stats.Cost.Magic -> Magic
+  | Nra_stats.Cost.Nra_original -> Nra_original
+  | Nra_stats.Cost.Nra_optimized -> Nra_optimized
+  | Nra_stats.Cost.Nra_full -> Nra_full
+  | exception _ -> Nra_optimized
+
+let rec run_analyzed strategy cat t =
   match strategy with
   | Naive -> Nra_exec.Naive.run cat t
   | Classical -> Nra_exec.Classical.run cat t
@@ -96,6 +120,7 @@ let run_analyzed strategy cat t =
   | Hybrid ->
       if classical_fully_applies cat t then Nra_exec.Classical.run cat t
       else Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
+  | Auto -> run_analyzed (auto_pick cat t) cat t
 
 let ( let* ) = Result.bind
 module Ast = Nra_sql.Ast
@@ -242,8 +267,9 @@ let query ?(strategy = Nra_optimized) cat sql =
   | Ok (Ast.With_query (ctes, stmt)) -> run_with strategy cat ctes stmt
   | Ok
       ( Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert_values _
-      | Ast.Insert_select _ | Ast.Delete _ | Ast.Update _ ) ->
-      Error "not a query (use Nra.exec for DDL/DML)"
+      | Ast.Insert_select _ | Ast.Delete _ | Ast.Update _ | Ast.Analyze _ )
+    ->
+      Error "not a query (use Nra.exec for DDL/DML/ANALYZE)"
 
 (* ---------- commands ---------- *)
 
@@ -425,6 +451,20 @@ let exec ?(strategy = Nra_optimized) cat sql =
       | Error m -> Error m)
   | Ok (Ast.Update (table, assigns, where)) ->
       do_update strategy cat table assigns where
+  | Ok (Ast.Analyze target) ->
+      guard (fun () ->
+          let store = Nra_stats.Stats_store.of_catalog cat in
+          match target with
+          | Some name ->
+              if Catalog.mem cat name then begin
+                ignore (Nra_stats.Stats_store.analyze cat store name);
+                Ok (Done (Printf.sprintf "analyzed %s" name))
+              end
+              else Error (Printf.sprintf "unknown table %s" name)
+          | None ->
+              let all = Nra_stats.Stats_store.analyze_all cat store in
+              Ok (Done (Printf.sprintf "analyzed %d table(s)"
+                          (List.length all))))
 
 let query_exn ?strategy cat sql =
   match query ?strategy cat sql with
@@ -458,3 +498,15 @@ let explain cat sql =
                  "@,@,nested relational pipeline (optimized):@,%s"
                  (String.trim (Nra_exec.Nra.plan_description t)))
            t)
+
+let explain_costs cat sql =
+  match Nra_planner.Analyze.analyze_string cat sql with
+  | Error m -> Error m
+  | Ok t -> (
+      try Ok (Nra_stats.Cost.report cat t)
+      with e -> Error (Printexc.to_string e))
+
+let auto_choice cat sql =
+  match Nra_planner.Analyze.analyze_string cat sql with
+  | Error m -> Error m
+  | Ok t -> Ok (auto_pick cat t)

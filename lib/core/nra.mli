@@ -73,6 +73,15 @@ module Tpch : sig
   module Queries = Nra_tpch.Queries
 end
 
+module Stats : sig
+  module Histogram = Nra_stats.Histogram
+  module Col_stats = Nra_stats.Col_stats
+  module Table_stats = Nra_stats.Table_stats
+  module Stats_store = Nra_stats.Stats_store
+  module Cardinality = Nra_stats.Cardinality
+  module Cost = Nra_stats.Cost
+end
+
 (** {1 Convenience API} *)
 
 type strategy =
@@ -88,6 +97,12 @@ type strategy =
           only, no iteration fallback), use it — it wins on positive
           operators (Figure 5); otherwise use the full nested relational
           approach *)
+  | Auto
+      (** cost-based dispatch: price every concrete strategy with
+          {!Stats.Cost} (using whatever [ANALYZE] statistics are fresh —
+          System-R defaults otherwise) and run the cheapest.  Always
+          returns the same relation as the other strategies; estimation
+          failures fall back to [Nra_optimized]. *)
 
 val strategies : (string * strategy) list
 val strategy_of_string : string -> strategy option
@@ -118,9 +133,19 @@ val exec :
     [INSERT INTO t SELECT …], or [DELETE FROM t [WHERE …]] (the WHERE
     may contain subqueries and runs under the chosen strategy).
     Modifications revalidate the schema, enforce key uniqueness and
-    rebuild the table's indexes. *)
+    rebuild the table's indexes.  [ANALYZE [t]] collects optimizer
+    statistics (see {!Stats}) for one table or the whole catalog. *)
 
 val explain : Catalog.t -> string -> (string, string) result
 (** A textual report: the block tree (the paper's "tree expression"),
     nesting depth, linearity, and the strategy the classical baseline
     would pick per subquery. *)
+
+val explain_costs : Catalog.t -> string -> (string, string) result
+(** The [EXPLAIN COSTS] report: every strategy's estimated I/O cost
+    (cheapest first) and the strategy [Auto] would run.  See
+    {!Stats.Cost.report}. *)
+
+val auto_choice : Catalog.t -> string -> (strategy, string) result
+(** The strategy [Auto] would run for this query — exposed so
+    benchmarks and tests can record the choice without re-estimating. *)

@@ -497,8 +497,10 @@ let analyze_string catalog src =
       | t -> Stdlib.Ok t
       | exception Error m -> Stdlib.Error m)
 
+let binding_of_col t (c : R.rcol) = List.assoc_opt c.R.uid t.by_uid
+
 let col_not_null t (c : R.rcol) =
-  match List.assoc_opt c.R.uid t.by_uid with
+  match binding_of_col t c with
   | None -> false
   | Some bd -> (
       let schema = Table.schema bd.table in

@@ -103,6 +103,11 @@ val analyze : Catalog.t -> Nra_sql.Ast.query -> t
 val analyze_string : Catalog.t -> string -> (t, string) result
 (** Parse then analyze; all failures as [Error _]. *)
 
+val binding_of_col : t -> Resolved.rcol -> binding option
+(** The binding a resolved column's [uid] refers to — the route from a
+    predicate column back to the catalog table whose statistics
+    describe it. *)
+
 val col_not_null : t -> Resolved.rcol -> bool
 (** Declared NOT NULL? *)
 

@@ -245,3 +245,4 @@ type command =
   | Delete of string * cond option
   | With_query of (string * statement) list * statement
   | Update of string * (string * expr) list * cond option
+  | Analyze of string option

@@ -108,6 +108,9 @@ type command =
   | Update of string * (string * expr) list * cond option
       (** UPDATE t SET c = e, … [WHERE …]; assignments see the
           pre-update row, the WHERE may contain subqueries *)
+  | Analyze of string option
+      (** ANALYZE [t] — collect optimizer statistics for one table, or
+          for every table in the catalog when no name is given *)
 
 (** {1 Structure} *)
 

@@ -593,6 +593,17 @@ let command st : Ast.command =
       done;
       let where = if try_kw st "where" then Some (cond st) else None in
       Ast.Update (table, List.rev !assigns, where)
+  | Lexer.IDENT "analyze" -> (
+      advance st;
+      match peek st with
+      | Lexer.IDENT name ->
+          advance st;
+          Ast.Analyze (Some name)
+      | Lexer.EOF -> Ast.Analyze None
+      | t ->
+          fail st
+            (Format.asprintf "expected a table name after ANALYZE, got %a"
+               Lexer.pp_token t))
   | _ -> Ast.Cmd_query (statement st)
 
 let with_state src f =

@@ -1,0 +1,70 @@
+(** Cardinality and selectivity estimation over {!Nra_planner.Analyze}
+    output.
+
+    Selectivities are three-valued: a predicate's estimate is the pair
+    [(p_true, p_unknown)] (with [p_false] the remainder), combined under
+    the usual independence assumptions by the 3VL truth tables — so
+    [NOT] and the negative linking operators price the NULL mass
+    correctly instead of folding it into [false].  Statistics come from
+    {!Stats_store} when the table was ANALYZEd; otherwise the classic
+    System-R defaults apply (1/10 for equality, 1/3 for ranges, NDV
+    heuristics from the key declaration). *)
+
+open Nra_storage
+open Nra_planner
+
+type env
+
+val make_env : Catalog.t -> Analyze.t -> env
+
+val col_stats : env -> Resolved.rcol -> Col_stats.t option
+(** Fresh ANALYZE output for the column's base table, if any. *)
+
+val ndv : env -> Resolved.rcol -> float
+(** Distinct non-NULL values; falls back to the table cardinality for a
+    single-column primary key and rows/10 otherwise. *)
+
+val null_frac : env -> Resolved.rcol -> float
+
+(** {1 The 3VL selectivity algebra}
+
+    Selectivity pairs [(p_true, p_unknown)] combined by the three-valued
+    truth tables under independence. *)
+
+val and3 : float * float -> float * float -> float * float
+val or3 : float * float -> float * float -> float * float
+val not3 : float * float -> float * float
+
+val cond_sel : env -> Resolved.rcond -> float * float
+(** [(p_true, p_unknown)] of one (possibly composite) condition. *)
+
+val local_sel : env -> Analyze.block -> float
+(** Probability a random tuple of the block's base relation satisfies
+    all local conjuncts ([p_true] of their conjunction). *)
+
+val block_base_rows : env -> Analyze.block -> float
+(** Product of the block's binding cardinalities (exact, from the
+    catalog — row counts are always known). *)
+
+val block_card : env -> Analyze.block -> float
+(** [block_base_rows × local_sel] — the block relation's size after
+    pushed-down local selections. *)
+
+val corr_sel : env -> Analyze.block -> float
+(** Per-outer-tuple selectivity of the block's correlated conjuncts:
+    for a fixed outer tuple, the probability that a random inner tuple
+    matches (equality contributes [1/ndv(inner column)]). *)
+
+val fanout : env -> Analyze.block -> float
+(** Expected matching inner tuples per outer tuple:
+    [block_card × corr_sel]. *)
+
+val probe_fanout : env -> Analyze.block -> string list -> float
+(** Candidate rows returned by an index probe on the given inner equi
+    columns — base rows × Π 1/ndv, {e before} local selections (an
+    index returns raw table rows; filters apply per candidate). *)
+
+val pages_per_value : env -> Analyze.binding -> string -> fallback:float ->
+  float
+(** Clustering of the binding's base-table column: distinct pages per
+    probed value (see {!Col_stats}); [fallback] when not analyzed. *)

@@ -1,0 +1,299 @@
+open Nra_relational
+open Nra_storage
+open Nra_planner
+module A = Analyze
+module R = Resolved
+module T3 = Three_valued
+module C = Cardinality
+
+type strategy =
+  | Naive
+  | Classical
+  | Magic
+  | Nra_original
+  | Nra_optimized
+  | Nra_full
+
+let all = [ Naive; Classical; Magic; Nra_original; Nra_optimized; Nra_full ]
+
+let to_string = function
+  | Naive -> "naive"
+  | Classical -> "classical"
+  | Magic -> "magic"
+  | Nra_original -> "nra-original"
+  | Nra_optimized -> "nra-optimized"
+  | Nra_full -> "nra-full"
+
+(* CPU costs Iosim cannot see: classical's plain joins beat the nested
+   operators, pipelined NRA beats materialized, magic pays for its
+   magic set, naive interprets per tuple *)
+let preference = function
+  | Classical -> 0
+  | Nra_full -> 1
+  | Magic -> 2
+  | Nra_optimized -> 3
+  | Nra_original -> 4
+  | Naive -> 5
+
+type breakdown = {
+  seq_pages : float;
+  rand_pages : float;
+  fetched_rows : float;
+}
+
+type estimate = {
+  strategy : strategy;
+  cost_ms : float;
+  breakdown : breakdown;
+}
+
+type acc = {
+  mutable seq : float;
+  mutable rand : float;
+  mutable fetch : float;
+}
+
+let pages rows =
+  let rpp = float_of_int (max 1 (Iosim.config ()).Iosim.rows_per_page) in
+  Float.max 1.0 (Float.ceil (rows /. rpp))
+
+let block_scan_pages (b : A.block) =
+  List.fold_left
+    (fun acc (bd : A.binding) ->
+      acc +. pages (float_of_int (Table.cardinality bd.A.table)))
+    0.0 b.A.bindings
+
+(* ---------- nested iteration (Naive; Classical/Magic fallback) ---- *)
+
+(* mirror of Naive.equi_probes, column names only *)
+let equi_probe_cols (b : A.block) =
+  List.filter_map
+    (fun rc ->
+      match rc with
+      | R.RCmp (T3.Eq, R.RCol c, e)
+        when c.R.block_id = b.A.id && not (List.mem b.A.id (R.expr_blocks e))
+        ->
+          Some c.R.col
+      | R.RCmp (T3.Eq, e, R.RCol c)
+        when c.R.block_id = b.A.id && not (List.mem b.A.id (R.expr_blocks e))
+        ->
+          Some c.R.col
+      | _ -> None)
+    b.A.correlated
+
+(* mirror of Naive.index_access's index selection: which columns does
+   the chosen index actually probe on?  (The same Catalog lookups, so
+   the model and the executor agree query by query.) *)
+let index_probe_cols cat (bd : A.binding) cols =
+  match Catalog.table_opt cat bd.A.source with
+  | None -> None
+  | Some base -> (
+      let name = Table.name base in
+      let sorted_exact =
+        List.find_map
+          (fun perm ->
+            match Catalog.sorted_index_on cat ~table:name (List.hd perm) with
+            | Some idx
+              when Array.length (Sorted_index.positions idx)
+                   = List.length perm ->
+                let idx_cols =
+                  Array.to_list (Sorted_index.positions idx)
+                  |> List.map (fun p ->
+                         (Schema.col (Table.schema base) p).Schema.name)
+                in
+                if List.sort compare idx_cols = List.sort compare cols then
+                  Some idx_cols
+                else None
+            | _ -> None)
+          (List.map (fun c -> [ c ]) cols
+          @ if List.length cols > 1 then [ cols; List.rev cols ] else [])
+      in
+      match sorted_exact with
+      | Some ic -> Some ic
+      | None -> (
+          match Catalog.hash_index_covering cat ~table:name cols with
+          | Some (_, ic) -> Some ic
+          | None ->
+              List.find_opt
+                (fun c -> Catalog.sorted_index_on cat ~table:name c <> None)
+                cols
+              |> Option.map (fun c -> [ c ])))
+
+(* mirror of Naive.static_subtree, on the correlation structure alone *)
+let static_subtree (b : A.block) =
+  List.for_all
+    (fun (blk : A.block) -> blk.A.correlated = [])
+    (A.collect_blocks b)
+
+let rec naive_child env cat acc ~outer (c : A.child) =
+  let b = c.A.block in
+  let probes = if static_subtree b then 1.0 else outer in
+  (match (b.A.bindings, equi_probe_cols b) with
+  | [ bd ], (_ :: _ as cols) -> (
+      match index_probe_cols cat bd cols with
+      | Some ic ->
+          let raw = C.probe_fanout env b ic in
+          let table_pages =
+            pages (float_of_int (Table.cardinality bd.A.table))
+          in
+          (* page misses per probe: the probed rows live on about
+             pages_per_value distinct pages (clustering statistic),
+             never more than the rows themselves or the whole table *)
+          let ppv =
+            C.pages_per_value env bd (List.hd ic) ~fallback:table_pages
+          in
+          let misses = Float.min raw (Float.min ppv table_pages) in
+          acc.rand <- acc.rand +. (probes *. (1.0 +. misses))
+      | None ->
+          (* equi correlation but no usable index: rescan per probe *)
+          acc.seq <- acc.seq +. (probes *. block_scan_pages b))
+  | _ ->
+      (* no single binding or no equi conjunct: rescan per probe *)
+      acc.seq <- acc.seq +. (probes *. block_scan_pages b));
+  let qualifying = probes *. C.fanout env b in
+  List.iter (naive_child env cat acc ~outer:qualifying) b.A.children
+
+let naive_cost env cat (t : A.t) acc =
+  acc.seq <- acc.seq +. block_scan_pages t.A.root;
+  let outer = C.block_card env t.A.root in
+  List.iter (naive_child env cat acc ~outer) t.A.root.A.children
+
+(* ---------- classical unnesting ---------- *)
+
+let classical_cost env cat (t : A.t) acc =
+  let plan = Nra_exec.Classical.plan cat t in
+  acc.seq <- acc.seq +. block_scan_pages t.A.root;
+  let outer = C.block_card env t.A.root in
+  let rec go ~outer (c : A.child) =
+    let b = c.A.block in
+    match List.assoc_opt b.A.id plan with
+    | Some Nra_exec.Classical.Iterate | None ->
+        (* the whole subtree degenerates to nested iteration *)
+        naive_child env cat acc ~outer c
+    | Some (Nra_exec.Classical.Semijoin | Nra_exec.Classical.Antijoin) ->
+        (* bottom-up reduction: scan once, join in memory *)
+        acc.seq <- acc.seq +. block_scan_pages b;
+        List.iter (go ~outer:(C.block_card env b)) b.A.children
+  in
+  List.iter (go ~outer) t.A.root.A.children
+
+(* ---------- magic decorrelation ---------- *)
+
+let magic_cost env cat (t : A.t) acc =
+  acc.seq <- acc.seq +. block_scan_pages t.A.root;
+  let outer = C.block_card env t.A.root in
+  let rec go ~outer (c : A.child) =
+    let b = c.A.block in
+    if A.self_contained b && A.equi_correlation b <> None then begin
+      (* magic set + pushed selection: scans and in-memory hashing *)
+      acc.seq <- acc.seq +. block_scan_pages b;
+      List.iter (go ~outer:(C.block_card env b)) b.A.children
+    end
+    else naive_child env cat acc ~outer c
+  in
+  List.iter (go ~outer) t.A.root.A.children
+
+(* ---------- the nested relational approach ---------- *)
+
+let nra_cost env _cat (opts : Nra_exec.Nra.options) (t : A.t) acc =
+  acc.seq <- acc.seq +. block_scan_pages t.A.root;
+  let outer = C.block_card env t.A.root in
+  (* left-outer-join output: every outer tuple survives (padded when
+     unmatched), matched ones multiply by the fan-out *)
+  let loj_out ~outer b = outer *. Float.max 1.0 (C.fanout env b) in
+  let rec go ~outer (c : A.child) =
+    let b = c.A.block in
+    let contained = A.self_contained b in
+    let equi = A.equi_correlation b <> None in
+    acc.seq <- acc.seq +. block_scan_pages b;
+    if contained && b.A.correlated = [] then
+      (* virtual Cartesian product: the subquery is reduced once *)
+      List.iter (go ~outer:(C.block_card env b)) b.A.children
+    else if opts.Nra_exec.Nra.push_down_nest && contained && equi then
+      (* §4.2.4: group the reduced child once, probe per outer tuple *)
+      List.iter (go ~outer:(C.block_card env b)) b.A.children
+    else if
+      opts.Nra_exec.Nra.positive_simplify
+      && b.A.children = []
+      && A.is_positive c.A.link
+      && b.A.correlated <> []
+    then
+      (* §4.2.5: semijoin, no wide intermediate *)
+      ()
+    else if opts.Nra_exec.Nra.bottom_up_linear && contained then begin
+      (* §4.2.3: reduce standalone, then one join+nest at this level *)
+      List.iter (go ~outer:(C.block_card env b)) b.A.children;
+      acc.fetch <- acc.fetch +. loj_out ~outer b
+    end
+    else begin
+      (* Algorithm 1: left outer join into the wide intermediate,
+         children join against the widened relation *)
+      let out = loj_out ~outer b in
+      acc.fetch <- acc.fetch +. out;
+      List.iter (go ~outer:out) b.A.children
+    end
+  in
+  List.iter (go ~outer) t.A.root.A.children
+
+(* ---------- assembly ---------- *)
+
+let price (bd : breakdown) =
+  let c = Iosim.config () in
+  (bd.seq_pages *. c.Iosim.t_seq_ms)
+  +. (bd.rand_pages *. c.Iosim.t_rand_ms)
+  +. (bd.fetched_rows *. c.Iosim.t_fetch_ms)
+
+let estimate cat (t : A.t) strategy =
+  let env = C.make_env cat t in
+  let acc = { seq = 0.0; rand = 0.0; fetch = 0.0 } in
+  (match strategy with
+  | Naive -> naive_cost env cat t acc
+  | Classical -> classical_cost env cat t acc
+  | Magic -> magic_cost env cat t acc
+  | Nra_original -> nra_cost env cat Nra_exec.Nra.original t acc
+  | Nra_optimized -> nra_cost env cat Nra_exec.Nra.optimized t acc
+  | Nra_full -> nra_cost env cat Nra_exec.Nra.full t acc);
+  let breakdown =
+    { seq_pages = acc.seq; rand_pages = acc.rand; fetched_rows = acc.fetch }
+  in
+  { strategy; cost_ms = price breakdown; breakdown }
+
+let estimates cat t =
+  List.map (estimate cat t) all
+  |> List.stable_sort (fun a b ->
+         match Float.compare a.cost_ms b.cost_ms with
+         | 0 -> Int.compare (preference a.strategy) (preference b.strategy)
+         | n -> n)
+
+let choose cat t = (List.hd (estimates cat t)).strategy
+
+let analyzed_tables cat (t : A.t) =
+  List.sort_uniq String.compare
+    (List.map (fun (_, bd) -> bd.A.source) t.A.by_uid)
+  |> List.map (fun name -> (name, Stats_store.find_for cat name <> None))
+
+let report cat t =
+  let es = estimates cat t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %12s %12s %12s %12s\n" "strategy" "est(ms)"
+       "seq pages" "rand pages" "fetched");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %12.1f %12.0f %12.0f %12.0f\n"
+           (to_string e.strategy) e.cost_ms e.breakdown.seq_pages
+           e.breakdown.rand_pages e.breakdown.fetched_rows))
+    es;
+  Buffer.add_string buf
+    (Printf.sprintf "auto picks: %s\n" (to_string (List.hd es).strategy));
+  let missing =
+    analyzed_tables cat t
+    |> List.filter_map (fun (n, ok) -> if ok then None else Some n)
+  in
+  if missing <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "note: no fresh statistics for %s — using defaults (run ANALYZE)\n"
+         (String.concat ", " missing));
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** The cost model: price every evaluation strategy's plan for a query
+    in {!Nra_storage.Iosim} units, without running (or charging)
+    anything.
+
+    Each estimator mirrors its executor's charging discipline:
+
+    - every strategy pays one sequential scan per base table it
+      materializes ([Frame.block_relation]);
+    - nested iteration (Naive, and the Classical/Magic iteration
+      fallbacks) pays, per outer tuple, one random read for the index
+      descent plus the probed rows' page misses — estimated from the
+      probed column's [pages_per_value] clustering statistic — or a full
+      inner rescan when no index applies;
+    - Classical semijoin/antijoin reductions and Magic's pushed
+      selections are scan-only (in-memory hash joins);
+    - the NRA variants pay the per-tuple engine→procedure fetch for
+      every wide-intermediate tuple they materialize; the §4.2 shortcuts
+      (push-down nest, positive simplification, standalone reduction)
+      skip those fetches exactly where the executor does.
+
+    Ties are broken by a fixed preference order —
+    Classical > Nra_full > Magic > Nra_optimized > Nra_original > Naive
+    — reflecting CPU costs the I/O simulation cannot see (pipelining,
+    magic-set construction, per-tuple interpretation). *)
+
+open Nra_storage
+open Nra_planner
+
+type strategy =
+  | Naive
+  | Classical
+  | Magic
+  | Nra_original
+  | Nra_optimized
+  | Nra_full
+
+val all : strategy list
+val to_string : strategy -> string
+(** Matches the names in [Nra.strategies]. *)
+
+type breakdown = {
+  seq_pages : float;
+  rand_pages : float;
+  fetched_rows : float;
+}
+
+type estimate = {
+  strategy : strategy;
+  cost_ms : float;  (** priced with the current {!Iosim.config} *)
+  breakdown : breakdown;
+}
+
+val estimate : Catalog.t -> Analyze.t -> strategy -> estimate
+
+val estimates : Catalog.t -> Analyze.t -> estimate list
+(** All six, cheapest first (ties in preference order). *)
+
+val choose : Catalog.t -> Analyze.t -> strategy
+(** The head of {!estimates}. *)
+
+val report : Catalog.t -> Analyze.t -> string
+(** The EXPLAIN COSTS table: per-strategy breakdowns and the choice,
+    with a note when some table lacks fresh statistics. *)

@@ -1,0 +1,62 @@
+open Nra_relational
+
+type t = { bounds : Value.t array }
+
+let build ?(buckets = 32) values =
+  let vs = Array.of_seq (Seq.filter (fun v -> not (Value.is_null v))
+                           (Array.to_seq values)) in
+  if Array.length vs = 0 then None
+  else begin
+    Array.sort Value.compare vs;
+    let len = Array.length vs in
+    let n = max 1 (min buckets len) in
+    (* boundary i sits after ~i/n of the sorted values: equi-depth *)
+    let bounds =
+      Array.init (n + 1) (fun i ->
+          if i = 0 then vs.(0) else vs.(min (len - 1) ((i * len / n) - 1)))
+    in
+    Some { bounds }
+  end
+
+let buckets t = Array.length t.bounds - 1
+let bounds t = t.bounds
+
+(* numeric position for within-bucket interpolation; strings (and any
+   future non-numeric type) have no metric, the caller uses 0.5 *)
+let to_float = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Date d -> Some (float_of_int d)
+  | Value.Bool b -> Some (if b then 1.0 else 0.0)
+  | Value.String _ | Value.Null -> None
+
+let frac_below t v =
+  let b = t.bounds in
+  let n = Array.length b - 1 in
+  if Value.is_null v || Value.compare v b.(0) < 0 then 0.0
+  else if Value.compare v b.(n) >= 0 then 1.0
+  else begin
+    (* largest k with bounds.(k) <= v; buckets are small, scan linearly *)
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if Value.compare b.(i) v <= 0 then k := i
+    done;
+    let k = !k in
+    let within =
+      match (to_float v, to_float b.(k), to_float b.(k + 1)) with
+      | Some x, Some lo, Some hi when hi > lo ->
+          min 1.0 (max 0.0 ((x -. lo) /. (hi -. lo)))
+      | _ -> 0.5
+    in
+    (float_of_int k +. within) /. float_of_int n
+  end
+
+let frac_between t lo hi =
+  max 0.0 (frac_below t hi -. frac_below t lo)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>equi-depth[%d]: %a@]" (buckets t)
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+       Value.pp)
+    t.bounds

@@ -1,0 +1,53 @@
+open Nra_storage
+
+type t = (string, Table_stats.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let analyze ?buckets cat (t : t) name =
+  let table = Catalog.table cat name in
+  let ts =
+    Table_stats.collect ?buckets ~generation:(Catalog.generation cat name)
+      table
+  in
+  Hashtbl.replace t name ts;
+  ts
+
+let analyze_all ?buckets cat t =
+  List.map
+    (fun table -> analyze ?buckets cat t (Table.name table))
+    (Catalog.tables cat)
+
+let find cat (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some ts when ts.Table_stats.generation = Catalog.generation cat name ->
+      Some ts
+  | _ -> None
+
+let tables (t : t) =
+  Hashtbl.fold (fun _ ts acc -> ts :: acc) t []
+  |> List.sort (fun a b ->
+         String.compare a.Table_stats.table b.Table_stats.table)
+
+(* ---- global association, keyed by catalog identity ---- *)
+
+let stores : (Catalog.t * t) list ref = ref []
+
+let find_store cat =
+  List.find_opt (fun (c, _) -> c == cat) !stores |> Option.map snd
+
+let of_catalog cat =
+  match find_store cat with
+  | Some s -> s
+  | None ->
+      let s = create () in
+      stores := (cat, s) :: !stores;
+      s
+
+let find_for cat name =
+  match find_store cat with None -> None | Some s -> find cat s name
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Table_stats.pp)
+    (tables t)

@@ -1,0 +1,38 @@
+(** The statistics registry: where ANALYZE output lives.
+
+    [Nra_storage] cannot depend on this library, so statistics are kept
+    {e alongside} the catalog rather than inside it: a process-global
+    association from catalog identity (physical equality) to a
+    per-catalog store.  Lookups are generation-checked — statistics
+    collected before a table's rows were replaced are treated as absent,
+    so a stale snapshot can mis-estimate but never resurrect dropped
+    data.  Catalogs that were never ANALYZEd cost nothing here. *)
+
+open Nra_storage
+
+type t
+
+val create : unit -> t
+
+val analyze : ?buckets:int -> Catalog.t -> t -> string -> Table_stats.t
+(** Collect (and store) statistics for one table.
+    @raise Not_found if the table is absent from the catalog. *)
+
+val analyze_all : ?buckets:int -> Catalog.t -> t -> Table_stats.t list
+
+val find : Catalog.t -> t -> string -> Table_stats.t option
+(** Fresh statistics only: [None] when the table was never analyzed or
+    its catalog generation moved since. *)
+
+val tables : t -> Table_stats.t list
+
+(** {1 The global per-catalog association} *)
+
+val of_catalog : Catalog.t -> t
+(** The store bound to this catalog, created on first use. *)
+
+val find_for : Catalog.t -> string -> Table_stats.t option
+(** [find] through the global association, allocating nothing when the
+    catalog was never ANALYZEd. *)
+
+val pp : Format.formatter -> t -> unit

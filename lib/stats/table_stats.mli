@@ -1,0 +1,18 @@
+(** Per-table statistics: one {!Col_stats.t} per column plus the row
+    count, stamped with the catalog generation the snapshot was taken
+    at (see {!Nra_storage.Catalog.generation}). *)
+
+open Nra_storage
+
+type t = {
+  table : string;
+  rows : int;
+  generation : int;
+  cols : (string * Col_stats.t) list;  (** by unqualified column name *)
+}
+
+val collect : ?buckets:int -> generation:int -> Table.t -> t
+
+val col : t -> string -> Col_stats.t option
+
+val pp : Format.formatter -> t -> unit

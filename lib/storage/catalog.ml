@@ -6,7 +6,7 @@ type indexes = {
   mutable sorted : (string list * Sorted_index.t) list;
 }
 
-type entry = { table : Table.t; idx : indexes }
+type entry = { table : Table.t; idx : indexes; gen : int }
 type t = (string, entry) Hashtbl.t
 
 let create () = Hashtbl.create 16
@@ -31,7 +31,10 @@ let register t table =
   idx.hash <-
     [ (key_cols, Hash_index.build (Table.relation table)
                    (Table.key_positions table)) ];
-  Hashtbl.replace t name { table; idx }
+  let gen =
+    match Hashtbl.find_opt t name with Some e -> e.gen + 1 | None -> 0
+  in
+  Hashtbl.replace t name { table; idx; gen }
 
 (* exposed below, used by DML *)
 
@@ -70,11 +73,14 @@ let update_rows t name rows =
       (fun (cols, _) -> (cols, Sorted_index.build rel (positions_of table cols)))
       e.idx.sorted
   in
-  Hashtbl.replace t name { table; idx = { hash; sorted } }
+  Hashtbl.replace t name { table; idx = { hash; sorted }; gen = e.gen + 1 }
 
 let drop_table t name =
   if not (Hashtbl.mem t name) then raise Not_found;
   Hashtbl.remove t name
+
+let generation t name =
+  match Hashtbl.find_opt t name with Some e -> e.gen | None -> -1
 
 let table t name = (entry t name).table
 let table_opt t name = Option.map (fun e -> e.table) (Hashtbl.find_opt t name)

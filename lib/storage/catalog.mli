@@ -34,6 +34,13 @@ val table_opt : t -> string -> Table.t option
 val tables : t -> Table.t list
 val mem : t -> string -> bool
 
+val generation : t -> string -> int
+(** Monotonic per-table content version: 0 on first registration,
+    bumped every time the table is re-registered or its rows are
+    replaced by DML; [-1] if the table is absent.  Consumers that cache
+    derived data (e.g. [nra.stats] statistics) compare generations to
+    detect staleness. *)
+
 (** {1 Indexes} *)
 
 val create_hash_index : t -> table:string -> string list -> unit

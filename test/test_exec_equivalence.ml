@@ -107,6 +107,29 @@ let test_corpus () =
   let cat = emp_dept_catalog () in
   List.iter (fun sql -> ignore (check_equivalent cat sql)) corpus_emp_dept
 
+(* the auto strategy may pick any executor, but whatever it picks must
+   return exactly the nra-optimized relation — with and without
+   statistics in place (the choice can differ between the two; the
+   result cannot) *)
+let test_auto_matches_optimized () =
+  let check cat sql =
+    match
+      ( Nra.query ~strategy:Auto cat sql,
+        Nra.query ~strategy:Nra_optimized cat sql )
+    with
+    | Ok a, Ok b ->
+        if Relation.sorted_rows a <> Relation.sorted_rows b then
+          Alcotest.fail ("auto disagrees with nra-optimized on: " ^ sql)
+    | Error m, _ | _, Error m -> Alcotest.fail (sql ^ ": " ^ m)
+  in
+  let cold = emp_dept_catalog () in
+  List.iter (check cold) corpus_emp_dept;
+  let warm = emp_dept_catalog () in
+  (match Nra.exec warm "analyze" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  List.iter (check warm) corpus_emp_dept
+
 let test_corpus_against_hand_results () =
   let cat = emp_dept_catalog () in
   (* a few fully hand-derived answers to anchor the corpus *)
@@ -339,6 +362,8 @@ let () =
       ( "corpus",
         [
           Alcotest.test_case "all strategies agree" `Quick test_corpus;
+          Alcotest.test_case "auto returns the nra-optimized relation"
+            `Quick test_auto_matches_optimized;
           Alcotest.test_case "anchored results" `Quick
             test_corpus_against_hand_results;
         ] );

@@ -1,0 +1,288 @@
+(* The statistics subsystem: histograms, per-column statistics, the
+   generation-checked store, selectivity arithmetic, and the auto
+   strategy's cost-based choice pinned at both ends of the Figure 4
+   sweep. *)
+
+open Nra
+module I = Nra_storage.Iosim
+module H = Stats.Histogram
+module CS = Stats.Col_stats
+module Card = Stats.Cardinality
+
+let vi i = Value.Int i
+let approx = Alcotest.float 0.05
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_uniform () =
+  let vs = Array.init 1_000 (fun i -> vi (i + 1)) in
+  match H.build vs with
+  | None -> Alcotest.fail "histogram over non-empty values"
+  | Some h ->
+      Alcotest.(check int) "buckets" 32 (H.buckets h);
+      let bounds = H.bounds h in
+      Alcotest.(check Test_support.value_testable)
+        "minimum" (vi 1) bounds.(0);
+      Alcotest.(check Test_support.value_testable)
+        "maximum" (vi 1_000)
+        bounds.(Array.length bounds - 1);
+      Alcotest.check approx "below min" 0.0 (H.frac_below h (vi 0));
+      Alcotest.check approx "at max" 1.0 (H.frac_below h (vi 1_000));
+      Alcotest.check approx "median" 0.5 (H.frac_below h (vi 500));
+      Alcotest.check approx "first quartile" 0.25 (H.frac_below h (vi 250));
+      Alcotest.check approx "interquartile range" 0.5
+        (H.frac_between h (vi 250) (vi 750))
+
+let test_histogram_skewed () =
+  (* 900 copies of 1 and the 100 values 101..200: equi-depth boundaries
+     concentrate where the data does *)
+  let vs =
+    Array.init 1_000 (fun i -> if i < 900 then vi 1 else vi (i - 799))
+  in
+  match H.build vs with
+  | None -> Alcotest.fail "histogram over non-empty values"
+  | Some h ->
+      Alcotest.check approx "mass at the spike" 0.9 (H.frac_below h (vi 1));
+      Alcotest.check approx "tail midpoint" 0.95 (H.frac_below h (vi 150))
+
+let test_histogram_degenerate () =
+  Alcotest.(check bool) "all NULL" true (H.build [| Value.Null |] = None);
+  Alcotest.(check bool) "empty" true (H.build [||] = None);
+  match H.build [| vi 7; Value.Null; vi 7 |] with
+  | None -> Alcotest.fail "constant column still has a histogram"
+  | Some h ->
+      Alcotest.check approx "everything at the constant" 1.0
+        (H.frac_below h (vi 7))
+
+(* ---------- per-column statistics ---------- *)
+
+let test_col_stats_basics () =
+  let vs =
+    Array.init 1_000 (fun i ->
+        if i mod 10 = 9 then Value.Null else vi (i mod 100))
+  in
+  let cs = CS.collect vs in
+  Alcotest.(check int) "rows" 1_000 cs.CS.rows;
+  Alcotest.(check int) "nulls" 100 cs.CS.nulls;
+  (* the nullified positions (i ≡ 9 mod 10) are exactly the ones whose
+     value would be ≡ 9 mod 10, so those 10 residues never occur *)
+  Alcotest.(check int) "ndv" 90 cs.CS.ndv;
+  Alcotest.check approx "null fraction" 0.1 (CS.null_frac cs);
+  Alcotest.check approx "equality selectivity" 0.01 (CS.eq_sel cs)
+
+let test_sel_cmp_matches_actual () =
+  let vs = Array.init 1_000 (fun i -> vi (i + 1)) in
+  let cs = CS.collect vs in
+  let actual p = float_of_int (Array.length (Array.of_list (List.filter p (Array.to_list vs)))) /. 1_000. in
+  let t_of op v = fst (CS.sel_cmp cs op (vi v)) in
+  Alcotest.check approx "x <= 300" (actual (fun x -> x <= vi 300))
+    (t_of Three_valued.Le 300);
+  Alcotest.check approx "x > 800" (actual (fun x -> x > vi 800))
+    (t_of Three_valued.Gt 800);
+  Alcotest.check approx "x = 42" 0.001 (t_of Three_valued.Eq 42);
+  (* comparisons against NULL are never true, always unknown *)
+  Alcotest.(check (pair approx approx))
+    "x = NULL" (0.0, 1.0)
+    (CS.sel_cmp cs Three_valued.Eq Value.Null)
+
+let test_pages_per_value_clustering () =
+  let rpp = (I.config ()).I.rows_per_page in
+  let n = rpp * 10 in
+  (* clustered: each of the 10 values fills exactly one page *)
+  let clustered = Array.init n (fun i -> vi (i / rpp)) in
+  (* scattered: each of the 10 values appears on every page *)
+  let scattered = Array.init n (fun i -> vi (i mod 10)) in
+  let c = CS.collect clustered and s = CS.collect scattered in
+  Alcotest.check approx "clustered ppv" 1.0 c.CS.pages_per_value;
+  Alcotest.check approx "scattered ppv" 10.0 s.CS.pages_per_value
+
+(* ---------- 3VL selectivity algebra ---------- *)
+
+let test_three_valued_algebra () =
+  let check name (et, eu) (t, u) =
+    Alcotest.check approx (name ^ " true") et t;
+    Alcotest.check approx (name ^ " unknown") eu u
+  in
+  check "and of certainties" (0.25, 0.0)
+    (Card.and3 (0.5, 0.0) (0.5, 0.0));
+  check "or of certainties" (0.75, 0.0) (Card.or3 (0.5, 0.0) (0.5, 0.0));
+  (* x AND x with unknowns: truth tables aggregated independently *)
+  check "and with unknowns" (0.25, 0.29)
+    (Card.and3 (0.5, 0.2) (0.5, 0.2));
+  check "not keeps unknown" (0.3, 0.2) (Card.not3 (0.5, 0.2));
+  check "double negation" (0.5, 0.2) (Card.not3 (Card.not3 (0.5, 0.2)))
+
+(* ---------- ANALYZE, the store, and staleness ---------- *)
+
+let test_analyze_command () =
+  let cat = Test_support.emp_dept_catalog () in
+  (match Nra.exec cat "analyze emp" with
+  | Ok (Done m) -> Alcotest.(check string) "ack" "analyzed emp" m
+  | Ok _ -> Alcotest.fail "expected Done"
+  | Error m -> Alcotest.fail m);
+  (match Nra.exec cat "analyze" with
+  | Ok (Done m) -> Alcotest.(check string) "ack all" "analyzed 3 table(s)" m
+  | Ok _ -> Alcotest.fail "expected Done"
+  | Error m -> Alcotest.fail m);
+  (match Nra.exec cat "analyze nosuch" with
+  | Error m ->
+      Alcotest.(check bool) "names the table" true
+        (String.length m > 0 && String.sub m 0 7 = "unknown")
+  | Ok _ -> Alcotest.fail "ANALYZE of a missing table must fail");
+  match Stats.Stats_store.find_for cat "emp" with
+  | None -> Alcotest.fail "statistics absent after ANALYZE"
+  | Some ts ->
+      Alcotest.(check int) "row count" 6 ts.Stats.Table_stats.rows;
+      (match Stats.Table_stats.col ts "salary" with
+      | None -> Alcotest.fail "no salary stats"
+      | Some cs ->
+          Alcotest.(check int) "salary ndv" 5 cs.CS.ndv;
+          Alcotest.(check int) "salary nulls" 1 cs.CS.nulls)
+
+let test_staleness () =
+  let cat = Test_support.emp_dept_catalog () in
+  (match Nra.exec cat "analyze emp" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "fresh after ANALYZE" true
+    (Stats.Stats_store.find_for cat "emp" <> None);
+  (match
+     Nra.exec cat "insert into emp values (7, 'gil', 1, 55, null)"
+   with
+  | Ok (Count 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "insert failed");
+  Alcotest.(check bool) "stale after the table changed" true
+    (Stats.Stats_store.find_for cat "emp" = None);
+  (match Nra.exec cat "analyze emp" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  match Stats.Stats_store.find_for cat "emp" with
+  | None -> Alcotest.fail "re-ANALYZE did not refresh"
+  | Some ts -> Alcotest.(check int) "new row count" 7 ts.Stats.Table_stats.rows
+
+(* ---------- EXPLAIN COSTS ---------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_explain_costs () =
+  let cat = Test_support.emp_dept_catalog () in
+  let sql =
+    "select dname from dept where exists (select * from emp where \
+     emp.dept_id = dept.dept_id)"
+  in
+  (match Nra.explain_costs cat sql with
+  | Error m -> Alcotest.fail m
+  | Ok report ->
+      Alcotest.(check bool) "lists every strategy" true
+        (List.for_all (fun (n, _) -> contains report n)
+           (List.filter (fun (n, _) -> n <> "hybrid" && n <> "auto")
+              Nra.strategies));
+      Alcotest.(check bool) "announces the choice" true
+        (contains report "auto picks:");
+      (* nothing ANALYZEd yet: the report must say so *)
+      Alcotest.(check bool) "flags missing statistics" true
+        (contains report "no fresh statistics"));
+  (match Nra.exec cat "analyze" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Nra.explain_costs cat sql with
+  | Error m -> Alcotest.fail m
+  | Ok report ->
+      Alcotest.(check bool) "no staleness note once analyzed" false
+        (contains report "no fresh statistics"));
+  match Nra.explain_costs cat "select nonsense from nowhere" with
+  | Ok _ -> Alcotest.fail "explain_costs over a bad query must fail"
+  | Error _ -> ()
+
+(* ---------- the auto strategy on the Figure 4 sweep ---------- *)
+
+let tpch_cat () =
+  let cat =
+    Tpch.Gen.generate { Tpch.Gen.default with Tpch.Gen.scale = 0.01 }
+  in
+  Tpch.Gen.add_benchmark_indexes cat;
+  (match Nra.exec cat "analyze" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  cat
+
+let q1_at rows =
+  let lo, hi = Tpch.Queries.q1_window ~outer_fraction:(rows /. 1_500_000.) in
+  Tpch.Queries.q1 ~date_lo:lo ~date_hi:hi
+
+let concrete =
+  [ Nra.Naive; Classical; Magic; Nra_original; Nra_optimized; Nra_full ]
+
+let sim cat strategy sql =
+  ignore (Nra.query_exn ~strategy cat sql);
+  I.reset ();
+  ignore (Nra.query_exn ~strategy cat sql);
+  I.simulated_seconds ()
+
+let test_auto_choice_regression () =
+  let cat = tpch_cat () in
+  let choice sql =
+    match Nra.auto_choice cat sql with
+    | Ok s -> Nra.strategy_to_string s
+    | Error m -> Alcotest.fail m
+  in
+  (* the crossover of Figure 4: indexed nested iteration wins while the
+     outer block is tiny, the scan-based NRA wins past it *)
+  Alcotest.(check string) "small outer end" "classical"
+    (choice (q1_at 500.));
+  Alcotest.(check string) "large outer end" "nra-full"
+    (choice (q1_at 16_000.))
+
+let test_auto_within_tolerance () =
+  let cat = tpch_cat () in
+  List.iter
+    (fun rows ->
+      let sql = q1_at rows in
+      let best =
+        List.fold_left
+          (fun acc s -> Float.min acc (sim cat s sql))
+          infinity concrete
+      in
+      let auto = sim cat Nra.Auto sql in
+      if auto > (1.10 *. best) +. 1e-9 then
+        Alcotest.fail
+          (Printf.sprintf
+             "auto sim %.4fs exceeds 1.1 x best %.4fs at outer=%.0f" auto
+             best rows))
+    [ 500.; 16_000. ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "uniform" `Quick test_histogram_uniform;
+          Alcotest.test_case "skewed" `Quick test_histogram_skewed;
+          Alcotest.test_case "degenerate" `Quick test_histogram_degenerate;
+        ] );
+      ( "col_stats",
+        [
+          Alcotest.test_case "basics" `Quick test_col_stats_basics;
+          Alcotest.test_case "selectivity matches data" `Quick
+            test_sel_cmp_matches_actual;
+          Alcotest.test_case "pages per value" `Quick
+            test_pages_per_value_clustering;
+          Alcotest.test_case "3VL algebra" `Quick test_three_valued_algebra;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "command" `Quick test_analyze_command;
+          Alcotest.test_case "staleness" `Quick test_staleness;
+          Alcotest.test_case "explain costs" `Quick test_explain_costs;
+        ] );
+      ( "auto",
+        [
+          Alcotest.test_case "figure 4 choices pinned" `Slow
+            test_auto_choice_regression;
+          Alcotest.test_case "within 10% of the best" `Slow
+            test_auto_within_tolerance;
+        ] );
+    ]
