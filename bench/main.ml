@@ -385,6 +385,57 @@ let ablations () =
     [ 0; 40; 160; 640; 2560; 10240 ];
   Iosim.set_config saved
 
+(* ---------- guard overhead and Auto degradation ---------- *)
+
+let robustness () =
+  header "Robustness (pseudo-figure 11): guard overhead, kill-and-fallback"
+    "cost of the cooperative tick checkpoints, and of Auto's \
+     kill-the-attempt-and-rerun discipline when the budget is pinned to \
+     the bare estimate (overrun 1.0: every optimistic estimate degrades)";
+  let q1 = List.nth (q1_sqls ()) 3 in
+  let direct = run_strategy cat Nra.Nra_optimized q1 in
+  let guarded =
+    measure (fun () ->
+        let guard =
+          (* effectively-infinite limits: pure checkpoint overhead *)
+          Nra.Guard.budget ~wall_ms:1e12 ~sim_io_ms:1e12
+            ~max_rows:max_int ()
+        in
+        match Nra.query ~strategy:Nra.Nra_optimized ~guard cat q1 with
+        | Ok rel -> rel
+        | Error m -> failwith m)
+  in
+  Printf.printf
+    "  nra-opt, Query 1 (largest sweep point): unguarded cpu %.3fs, \
+     guarded cpu %.3fs, sim %.2fs either way\n"
+    direct.cpu guarded.cpu guarded.sim;
+  let overrun, floor_ms = Nra.auto_guard () in
+  let sqls = q1_sqls () @ q2_sqls Q.Any @ q2_sqls Q.All in
+  let sweep_auto label =
+    Nra.Guard.reset_events ();
+    Iosim.reset ();
+    let t0 = Unix.gettimeofday () in
+    let sim =
+      List.fold_left
+        (fun acc sql ->
+          Iosim.reset ();
+          ignore (Nra.query_exn ~strategy:Nra.Auto cat sql);
+          acc +. Iosim.simulated_seconds ())
+        0.0 sqls
+    in
+    let cpu = Unix.gettimeofday () -. t0 in
+    let ev = Nra.Guard.events () in
+    Printf.printf
+      "  auto, %d queries, %s: %d fallback(s), cpu %.3fs, sim %.2fs\n"
+      (List.length sqls) label ev.Nra.Guard.auto_fallbacks cpu sim
+  in
+  sweep_auto
+    (Printf.sprintf "default overrun x%.1f floor %.1fms" overrun floor_ms);
+  Nra.set_auto_guard ~overrun:1.0 ~floor_ms:0.0 ();
+  sweep_auto "overrun x1.0 floor 0ms";
+  Nra.set_auto_guard ~overrun ~floor_ms ();
+  Nra.Guard.reset_events ()
+
 (* ---------- Bechamel microbenchmarks ---------- *)
 
 let micro () =
@@ -473,6 +524,7 @@ let () =
   if wanted 8 then figure789 8 "3b (negative ALL / NOT EXISTS)" ~quant:Q.All ~exists:false;
   if wanted 9 then figure789 9 "3c (positive ANY / EXISTS)" ~quant:Q.Any ~exists:true;
   if wanted 10 then figure10 ();
+  if wanted 11 then robustness ();
   if !run_ablation && !selected_figures = [] then ablations ();
   if !run_micro && !selected_figures = [] then micro ();
   if !points <> [] then emit_json "BENCH_subqueries.json";

@@ -80,16 +80,88 @@ let timing =
   let doc = "Print measured CPU and simulated 2005-disk time." in
   Arg.(value & flag & info [ "time" ] ~doc)
 
+(* ---------- guard / fault options ---------- *)
+
+let timeout_ms =
+  let doc = "Kill the query after this much wall-clock time (ms)." in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let io_budget_ms =
+  let doc =
+    "Kill the query after this much simulated-2005-disk time (ms); \
+     deterministic for a given query and data."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "io-budget-ms" ] ~docv:"MS" ~doc)
+
+let max_rows =
+  let doc = "Kill the query after materializing this many intermediate rows." in
+  Arg.(value & opt (some int) None & info [ "max-rows" ] ~docv:"N" ~doc)
+
+let faults =
+  let doc =
+    "Inject transient storage faults with this per-read probability \
+     (deterministic, see --fault-seed); executors retry with backoff."
+  in
+  Arg.(value & opt float 0.0 & info [ "faults" ] ~docv:"P" ~doc)
+
+let fault_seed =
+  let doc = "Fault-injection PRNG seed." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let install_faults p seed = if p > 0.0 then Nra.Fault.configure ~seed p
+
+(* Run [f] over a budget assembled from the flags, with SIGINT wired to
+   the budget's cancel token for the duration (the default Ctrl-C
+   behavior is restored afterwards, so a second Ctrl-C at a prompt still
+   kills the process). *)
+let with_guard_flags timeout_ms io_budget_ms max_rows f =
+  let tok = Nra.Guard.token () in
+  let b =
+    Nra.Guard.budget ?wall_ms:timeout_ms ?sim_io_ms:io_budget_ms
+      ?max_rows ~cancel_on:tok ()
+  in
+  let old =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Nra.Guard.cancel tok))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint old)
+    (fun () -> f b)
+
+let print_robustness_report () =
+  let ev = Nra.Guard.events () in
+  if
+    ev.Nra.Guard.budget_kills + ev.Nra.Guard.cancellations
+    + ev.Nra.Guard.auto_fallbacks > 0
+  then
+    Printf.printf
+      "guard: %d budget kill(s), %d cancellation(s), %d auto fallback(s)\n"
+      ev.Nra.Guard.budget_kills ev.Nra.Guard.cancellations
+      ev.Nra.Guard.auto_fallbacks;
+  if Nra.Fault.enabled () then begin
+    let fs = Nra.Fault.stats () in
+    Printf.printf
+      "faults: %d injected, %d retried, %d escaped, %.2f ms backoff\n"
+      fs.Nra.Fault.injected fs.Nra.Fault.retried fs.Nra.Fault.escaped
+      fs.Nra.Fault.backoff_ms_total
+  end
+
 (* ---------- commands ---------- *)
 
-let run_query strategy scale seed null_rate not_null csv timing sql =
+let run_query strategy scale seed null_rate not_null csv timing timeout_ms
+    io_budget_ms max_rows faults fault_seed sql =
   let cat = make_catalog scale seed null_rate not_null in
   (* statistics collection is pure CPU (no Iosim charges), so Auto's
      choice is informed without distorting the reported simulation *)
   if strategy = Nra.Auto then ignore (Nra.exec cat "analyze");
+  install_faults faults fault_seed;
   Nra_storage.Iosim.reset ();
   let t0 = Unix.gettimeofday () in
-  match Nra.query ~strategy cat sql with
+  match
+    with_guard_flags timeout_ms io_budget_ms max_rows (fun guard ->
+        Nra.query ~strategy ~guard cat sql)
+  with
   | Ok rel ->
       let dt = Unix.gettimeofday () -. t0 in
       if csv then print_string (Nra.Relation.to_csv rel)
@@ -116,8 +188,11 @@ let run_query strategy scale seed null_rate not_null csv timing sql =
           (Nra_storage.Iosim.cache_hits ())
           (Nra_storage.Iosim.cache_misses ())
       end;
+      if timing then print_robustness_report ();
       `Ok ()
-  | Error m -> `Error (false, m)
+  | Error m ->
+      if timing then print_robustness_report ();
+      `Error (false, m)
 
 let query_cmd =
   let info = Cmd.info "query" ~doc:"Run a SQL query over generated TPC-H data." in
@@ -125,7 +200,8 @@ let query_cmd =
     Term.(
       ret
         (const run_query $ strategy $ scale $ seed $ null_rate $ not_null
-       $ csv $ timing $ sql_arg))
+       $ csv $ timing $ timeout_ms $ io_budget_ms $ max_rows $ faults
+       $ fault_seed $ sql_arg))
 
 let costs =
   let doc =
@@ -206,10 +282,13 @@ let analyze_cmd =
       ret
         (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
-let run_repl strategy scale seed null_rate not_null =
+let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
+    max_rows faults fault_seed =
   let cat = make_catalog scale seed null_rate not_null in
+  install_faults faults fault_seed;
   Printf.printf
-    "nra repl — strategy %s; end statements with a blank line; \\q quits.\n"
+    "nra repl — strategy %s; end statements with a blank line; \\q quits; \
+     Ctrl-C cancels the running statement.\n"
     (Nra.strategy_to_string strategy);
   let buf = Buffer.create 256 in
   let rec loop () =
@@ -222,7 +301,12 @@ let run_repl strategy scale seed null_rate not_null =
     | "" when Buffer.length buf > 0 ->
         let sql = Buffer.contents buf in
         Buffer.clear buf;
-        (match Nra.exec ~strategy cat sql with
+        (* the SIGINT handler is scoped to the statement: Ctrl-C here
+           cancels cooperatively, Ctrl-C at the prompt still exits *)
+        (match
+           with_guard_flags timeout_ms io_budget_ms max_rows (fun guard ->
+               Nra.exec ~strategy ~guard cat sql)
+         with
         | Ok (Nra.Rows rel) -> Format.printf "%a@." Nra.Relation.pp rel
         | Ok (Nra.Count n) -> Printf.printf "%d row(s) affected\n" n
         | Ok (Nra.Done msg) -> print_endline msg
@@ -239,7 +323,9 @@ let run_repl strategy scale seed null_rate not_null =
 let repl_cmd =
   let info = Cmd.info "repl" ~doc:"Interactive SQL loop." in
   Cmd.v info
-    Term.(const run_repl $ strategy $ scale $ seed $ null_rate $ not_null)
+    Term.(
+      const run_repl $ strategy $ scale $ seed $ null_rate $ not_null
+      $ timeout_ms $ io_budget_ms $ max_rows $ faults $ fault_seed)
 
 let main =
   let info =

@@ -27,6 +27,7 @@ let nested_loop kind ~on left right =
   let acc = ref [] in
   Array.iter
     (fun lrow ->
+      Nra_guard.Guard.tick ();
       let matches =
         Array.to_list right_rows
         |> List.filter (fun rrow -> Expr.holds on (Row.concat lrow rrow))
@@ -54,6 +55,7 @@ let join kind ~on left right =
     let acc = ref [] in
     Array.iter
       (fun lrow ->
+        Nra_guard.Guard.tick ();
         incr stats_probes;
         let matches =
           if Row.has_null_on lpos lrow then []

@@ -10,6 +10,8 @@ module Table = Nra_storage.Table
 module Catalog = Nra_storage.Catalog
 module Hash_index = Nra_storage.Hash_index
 module Sorted_index = Nra_storage.Sorted_index
+module Fault = Nra_storage.Fault
+module Guard = Nra_guard.Guard
 
 module Algebra = struct
   module Basic = Nra_algebra.Basic
@@ -62,6 +64,52 @@ module Stats = struct
   module Cost = Nra_stats.Cost
 end
 
+(* ---------- the error taxonomy ---------- *)
+
+module Exec_error = struct
+  type t =
+    | Budget_exceeded of Guard.resource
+    | Cancelled
+    | Io_error of string
+    | Parse of { message : string; offset : int option; excerpt : string }
+    | Invalid of string
+    | Unsupported of string
+    | Runtime of string
+
+  let to_string = function
+    | Budget_exceeded r ->
+        Printf.sprintf "query killed: budget exceeded (%s)"
+          (Guard.resource_to_string r)
+    | Cancelled -> "query killed: cancelled"
+    | Io_error m -> Printf.sprintf "I/O error: %s" m
+    | Parse { message; offset; excerpt } ->
+        "parse error: "
+        ^ Nra_sql.Parser.render_error
+            { Nra_sql.Parser.message; offset; excerpt }
+    | Invalid m | Unsupported m | Runtime m -> m
+end
+
+(* Convert the engine's runtime exceptions into the taxonomy.  Kills are
+   counted here — exactly once, where they surface as a user-visible
+   error; Auto's degraded attempts are caught earlier (in [run_auto])
+   and counted as fallbacks instead. *)
+let trap f =
+  match f () with
+  | v -> v
+  | exception Guard.Killed k ->
+      Guard.note_kill k;
+      Error
+        (match k with
+        | Guard.Budget_exceeded r -> Exec_error.Budget_exceeded r
+        | Guard.Cancelled -> Exec_error.Cancelled)
+  | exception Fault.Io_fault m -> Error (Exec_error.Io_error m)
+  | exception Nra_exec.Frame.Unsupported m ->
+      Error (Exec_error.Unsupported ("unsupported by this strategy: " ^ m))
+  | exception Nra_exec.Post.Unsupported m -> Error (Exec_error.Unsupported m)
+  | exception Nra_planner.Analyze.Error m -> Error (Exec_error.Invalid m)
+  | exception Invalid_argument m -> Error (Exec_error.Invalid m)
+  | exception Failure m -> Error (Exec_error.Runtime m)
+
 type strategy =
   | Naive
   | Classical
@@ -96,18 +144,40 @@ let classical_fully_applies cat t =
     (fun (_, s) -> s <> Nra_exec.Classical.Iterate)
     (Nra_exec.Classical.plan cat t)
 
-(* the cost model's choice, mapped into this facade's strategy type;
-   estimation is pure (no Iosim charges) but involves the executors'
-   planners, so any failure falls back to the default strategy *)
-let auto_pick cat t =
-  match Nra_stats.Cost.choose cat t with
+let of_cost_strategy = function
   | Nra_stats.Cost.Naive -> Naive
   | Nra_stats.Cost.Classical -> Classical
   | Nra_stats.Cost.Magic -> Magic
   | Nra_stats.Cost.Nra_original -> Nra_original
   | Nra_stats.Cost.Nra_optimized -> Nra_optimized
   | Nra_stats.Cost.Nra_full -> Nra_full
+
+(* the cost model's choice, mapped into this facade's strategy type;
+   estimation is pure (no Iosim charges) but involves the executors'
+   planners, so any failure falls back to the default strategy *)
+let auto_pick cat t =
+  match Nra_stats.Cost.choose cat t with
+  | s -> of_cost_strategy s
   | exception _ -> Nra_optimized
+
+(* ---------- Auto's kill-and-fallback ---------- *)
+
+(* A budget kill under Auto is evidence of a cost-model misestimate:
+   the chosen plan was supposed to cost [cost_ms] and has already spent
+   [overrun] times that.  Rather than failing the query, kill the
+   attempt, roll the I/O ledger back, and rerun under the
+   always-applicable default strategy. *)
+let auto_overrun = ref 4.0
+let auto_floor_ms = ref 1.0
+
+let set_auto_guard ?overrun ?floor_ms () =
+  Option.iter (fun v -> auto_overrun := Float.max 1.0 v) overrun;
+  Option.iter (fun v -> auto_floor_ms := Float.max 0.0 v) floor_ms
+
+let auto_guard () = (!auto_overrun, !auto_floor_ms)
+
+let auto_attempt_ms cost_ms =
+  Float.max !auto_floor_ms (cost_ms *. !auto_overrun)
 
 let rec run_analyzed strategy cat t =
   match strategy with
@@ -120,21 +190,48 @@ let rec run_analyzed strategy cat t =
   | Hybrid ->
       if classical_fully_applies cat t then Nra_exec.Classical.run cat t
       else Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
-  | Auto -> run_analyzed (auto_pick cat t) cat t
+  | Auto -> run_auto cat t
+
+and run_auto cat t =
+  match Nra_stats.Cost.estimates cat t with
+  | exception _ -> run_analyzed Nra_optimized cat t
+  | [] -> run_analyzed Nra_optimized cat t
+  | best :: _ -> (
+      let pick = of_cost_strategy best.Nra_stats.Cost.strategy in
+      if pick = Nra_optimized then
+        (* the chosen plan IS the fallback: a derived budget would only
+           kill a query that has nowhere left to degrade to *)
+        run_analyzed Nra_optimized cat t
+      else
+        let attempt =
+          Guard.min_budget (Guard.remaining ())
+            (Guard.budget
+               ~sim_io_ms:(auto_attempt_ms best.Nra_stats.Cost.cost_ms)
+               ())
+        in
+        let cp = Nra_storage.Iosim.checkpoint () in
+        match
+          Guard.with_budget attempt (fun () -> run_analyzed pick cat t)
+        with
+        | rel -> rel
+        | exception Guard.Killed (Guard.Budget_exceeded _) ->
+            (* un-charge the aborted attempt: the fallback redoes the
+               work, and double-charging would poison both the client's
+               budget and any [--time] report *)
+            Nra_storage.Iosim.rollback cp;
+            (* if the CLIENT's budget (not the derived one) is what
+               blew, degrading cannot help — re-raise for the facade *)
+            Guard.recheck ();
+            Guard.note_fallback ();
+            run_analyzed Nra_optimized cat t)
 
 let ( let* ) = Result.bind
 module Ast = Nra_sql.Ast
 
 let run_select strategy cat q =
-  match Nra_planner.Analyze.analyze cat q with
-  | exception Nra_planner.Analyze.Error m -> Error m
-  | t -> (
-      match run_analyzed strategy cat t with
-      | rel -> Ok rel
-      | exception Nra_exec.Frame.Unsupported m ->
-          Error ("unsupported by this strategy: " ^ m)
-      | exception Nra_exec.Post.Unsupported m -> Error m
-      | exception Failure m -> Error m)
+  trap (fun () ->
+      let t = Nra_planner.Analyze.analyze cat q in
+      Ok (run_analyzed strategy cat t))
 
 (* An ORDER BY / LIMIT written after the last component of a set
    operation applies to the combined result. *)
@@ -160,14 +257,18 @@ let setop_sort_keys schema order_by =
     | Ast.Col (None, name) -> (
         match Nra_relational.Schema.find_opt schema name with
         | Some pos -> Ok { Nra_algebra.Sort.pos; dir }
-        | None -> Error (Printf.sprintf "unknown output column %s" name))
+        | None ->
+            Error
+              (Exec_error.Invalid
+                 (Printf.sprintf "unknown output column %s" name)))
     | Ast.Lit (Value.Int k)
       when k >= 1 && k <= Nra_relational.Schema.arity schema ->
         Ok { Nra_algebra.Sort.pos = k - 1; dir }
     | _ ->
         Error
-          "ORDER BY on a set operation must use output column names or \
-           1-based positions"
+          (Exec_error.Invalid
+             "ORDER BY on a set operation must use output column names \
+              or 1-based positions")
   in
   List.fold_left
     (fun acc key ->
@@ -186,10 +287,11 @@ let rec combine strategy cat = function
         <> Nra_relational.Schema.arity (Relation.schema rrel)
       then
         Error
-          (Printf.sprintf
-             "set operation over different arities (%d vs %d columns)"
-             (Nra_relational.Schema.arity (Relation.schema lrel))
-             (Nra_relational.Schema.arity (Relation.schema rrel)))
+          (Exec_error.Invalid
+             (Printf.sprintf
+                "set operation over different arities (%d vs %d columns)"
+                (Nra_relational.Schema.arity (Relation.schema lrel))
+                (Nra_relational.Schema.arity (Relation.schema rrel))))
       else
         let f =
           match (op.Ast.op, op.Ast.all) with
@@ -234,7 +336,9 @@ let run_with strategy cat ctes stmt =
         | [] -> run_statement strategy cat stmt
         | (name, cstmt) :: rest ->
             if Catalog.mem cat name then
-              Error (Printf.sprintf "relation %s already exists" name)
+              Error
+                (Exec_error.Invalid
+                   (Printf.sprintf "relation %s already exists" name))
             else
               let* rel = run_statement strategy cat cstmt in
               let cols =
@@ -256,31 +360,28 @@ let run_with strategy cat ctes stmt =
                   Catalog.register cat table;
                   registered := name :: !registered;
                   go rest
-              | exception Invalid_argument m -> Error m)
+              | exception Invalid_argument m ->
+                  Error (Exec_error.Invalid m))
       in
       go ctes)
-
-let query ?(strategy = Nra_optimized) cat sql =
-  match Nra_sql.Parser.parse_command_result sql with
-  | Error m -> Error ("parse error: " ^ m)
-  | Ok (Ast.Cmd_query stmt) -> run_statement strategy cat stmt
-  | Ok (Ast.With_query (ctes, stmt)) -> run_with strategy cat ctes stmt
-  | Ok
-      ( Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert_values _
-      | Ast.Insert_select _ | Ast.Delete _ | Ast.Update _ | Ast.Analyze _ )
-    ->
-      Error "not a query (use Nra.exec for DDL/DML/ANALYZE)"
 
 (* ---------- commands ---------- *)
 
 type exec_result = Rows of Relation.t | Count of int | Done of string
 
-let guard f = try f () with Invalid_argument m | Failure m -> Error m
+let invalidf fmt = Format.kasprintf (fun m -> Error (Exec_error.Invalid m)) fmt
+
+(* All DML below is atomic: matching rows are computed, new contents are
+   validated (types, NOT NULL, key uniqueness) and the indexes rebuilt
+   BEFORE [Catalog.update_rows]'s single commit point.  A budget kill,
+   injected I/O fault, or type error anywhere in between surfaces as an
+   [Error] with the table, its indexes, and the catalog generation
+   untouched. *)
 
 let do_create cat ~table ~columns ~key =
-  guard (fun () ->
+  trap (fun () ->
       if Catalog.mem cat table then
-        Error (Printf.sprintf "table %s already exists" table)
+        invalidf "table %s already exists" table
       else begin
         let cols =
           List.map
@@ -294,9 +395,9 @@ let do_create cat ~table ~columns ~key =
       end)
 
 let do_insert_rows cat table new_rows =
-  guard (fun () ->
+  trap (fun () ->
       match Catalog.table_opt cat table with
-      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | None -> invalidf "unknown table %s" table
       | Some t ->
           let arity =
             Nra_relational.Schema.arity (Table.schema t)
@@ -308,10 +409,8 @@ let do_insert_rows cat table new_rows =
           in
           (match bad with
           | Some r ->
-              Error
-                (Printf.sprintf
-                   "insert into %s: %d values where %d columns expected"
-                   table (Array.length r) arity)
+              invalidf "insert into %s: %d values where %d columns expected"
+                table (Array.length r) arity
           | None ->
               let rows =
                 Array.append
@@ -322,9 +421,9 @@ let do_insert_rows cat table new_rows =
               Ok (Count (List.length new_rows))))
 
 let do_delete strategy cat table where =
-  guard (fun () ->
+  trap (fun () ->
       match Catalog.table_opt cat table with
-      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | None -> invalidf "unknown table %s" table
       | Some t -> (
           let probe =
             Ast.simple_query ~select:[ Ast.Star ]
@@ -359,9 +458,9 @@ let do_delete strategy cat table where =
               Ok (Count (before - Array.length survivors))))
 
 let do_update strategy cat table assigns where =
-  guard (fun () ->
+  trap (fun () ->
       match Catalog.table_opt cat table with
-      | None -> Error (Printf.sprintf "unknown table %s" table)
+      | None -> invalidf "unknown table %s" table
       | Some t -> (
           let schema = Table.schema t in
           let positions =
@@ -422,37 +521,35 @@ let do_update strategy cat table assigns where =
               Catalog.update_rows cat table rows;
               Ok (Count !changed)))
 
-let exec ?(strategy = Nra_optimized) cat sql =
-  match Nra_sql.Parser.parse_command_result sql with
-  | Error m -> Error ("parse error: " ^ m)
-  | Ok (Ast.Cmd_query stmt) -> (
+let run_command strategy cat = function
+  | Ast.Cmd_query stmt -> (
       match run_statement strategy cat stmt with
       | Ok rel -> Ok (Rows rel)
-      | Error m -> Error m)
-  | Ok (Ast.Create_table { table; columns; key }) ->
+      | Error e -> Error e)
+  | Ast.Create_table { table; columns; key } ->
       do_create cat ~table ~columns ~key
-  | Ok (Ast.Drop_table table) ->
+  | Ast.Drop_table table ->
       if Catalog.mem cat table then begin
         Catalog.drop_table cat table;
         Ok (Done (Printf.sprintf "table %s dropped" table))
       end
-      else Error (Printf.sprintf "unknown table %s" table)
-  | Ok (Ast.Insert_values (table, rows)) ->
+      else invalidf "unknown table %s" table
+  | Ast.Insert_values (table, rows) ->
       do_insert_rows cat table (List.map Array.of_list rows)
-  | Ok (Ast.Insert_select (table, stmt)) -> (
+  | Ast.Insert_select (table, stmt) -> (
       match run_statement strategy cat stmt with
-      | Error m -> Error m
+      | Error e -> Error e
       | Ok rel ->
           do_insert_rows cat table (Array.to_list (Relation.rows rel)))
-  | Ok (Ast.Delete (table, where)) -> do_delete strategy cat table where
-  | Ok (Ast.With_query (ctes, stmt)) -> (
+  | Ast.Delete (table, where) -> do_delete strategy cat table where
+  | Ast.With_query (ctes, stmt) -> (
       match run_with strategy cat ctes stmt with
       | Ok rel -> Ok (Rows rel)
-      | Error m -> Error m)
-  | Ok (Ast.Update (table, assigns, where)) ->
+      | Error e -> Error e)
+  | Ast.Update (table, assigns, where) ->
       do_update strategy cat table assigns where
-  | Ok (Ast.Analyze target) ->
-      guard (fun () ->
+  | Ast.Analyze target ->
+      trap (fun () ->
           let store = Nra_stats.Stats_store.of_catalog cat in
           match target with
           | Some name ->
@@ -460,11 +557,46 @@ let exec ?(strategy = Nra_optimized) cat sql =
                 ignore (Nra_stats.Stats_store.analyze cat store name);
                 Ok (Done (Printf.sprintf "analyzed %s" name))
               end
-              else Error (Printf.sprintf "unknown table %s" name)
+              else invalidf "unknown table %s" name
           | None ->
               let all = Nra_stats.Stats_store.analyze_all cat store in
               Ok (Done (Printf.sprintf "analyzed %d table(s)"
                           (List.length all))))
+
+(* ---------- the public entry points ---------- *)
+
+let parse_command sql =
+  match Nra_sql.Parser.parse_command_located sql with
+  | Ok cmd -> Ok cmd
+  | Error { Nra_sql.Parser.message; offset; excerpt } ->
+      Error (Exec_error.Parse { message; offset; excerpt })
+
+let with_guard guard f =
+  match guard with
+  | None -> f ()
+  | Some b -> Guard.with_budget b f
+
+let run ?(strategy = Nra_optimized) ?guard cat sql =
+  let* cmd = parse_command sql in
+  with_guard guard (fun () -> run_command strategy cat cmd)
+
+let exec ?strategy ?guard cat sql =
+  Result.map_error Exec_error.to_string (run ?strategy ?guard cat sql)
+
+let query ?(strategy = Nra_optimized) ?guard cat sql =
+  Result.map_error Exec_error.to_string
+    (let* cmd = parse_command sql in
+     match cmd with
+     | Ast.Cmd_query stmt ->
+         with_guard guard (fun () -> run_statement strategy cat stmt)
+     | Ast.With_query (ctes, stmt) ->
+         with_guard guard (fun () -> run_with strategy cat ctes stmt)
+     | Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert_values _
+     | Ast.Insert_select _ | Ast.Delete _ | Ast.Update _ | Ast.Analyze _
+       ->
+         Error
+           (Exec_error.Invalid
+              "not a query (use Nra.exec for DDL/DML/ANALYZE)"))
 
 let query_exn ?strategy cat sql =
   match query ?strategy cat sql with
@@ -503,7 +635,31 @@ let explain_costs cat sql =
   match Nra_planner.Analyze.analyze_string cat sql with
   | Error m -> Error m
   | Ok t -> (
-      try Ok (Nra_stats.Cost.report cat t)
+      try
+        let report = Nra_stats.Cost.report cat t in
+        let auto_line =
+          match Nra_stats.Cost.estimates cat t with
+          | [] -> ""
+          | best :: _ ->
+              let pick = of_cost_strategy best.Nra_stats.Cost.strategy in
+              if pick = Nra_optimized then
+                "auto guard: choice is the fallback strategy; runs \
+                 unguarded\n"
+              else
+                Printf.sprintf
+                  "auto guard: attempt budget %.3f sim-I/O ms (estimate \
+                   x %.1f overrun, floor %.1f ms); fallback: %s\n"
+                  (auto_attempt_ms best.Nra_stats.Cost.cost_ms)
+                  !auto_overrun !auto_floor_ms
+                  (strategy_to_string Nra_optimized)
+        in
+        let ev = Guard.events () in
+        Ok
+          (Printf.sprintf
+             "%s\n%sguard events (session): %d budget kill(s), %d \
+              cancellation(s), %d auto fallback(s)"
+             report auto_line ev.Guard.budget_kills ev.Guard.cancellations
+             ev.Guard.auto_fallbacks)
       with e -> Error (Printexc.to_string e))
 
 let auto_choice cat sql =

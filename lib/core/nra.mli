@@ -31,6 +31,14 @@ module Catalog = Nra_storage.Catalog
 module Hash_index = Nra_storage.Hash_index
 module Sorted_index = Nra_storage.Sorted_index
 
+module Fault = Nra_storage.Fault
+(** Deterministic fault injection into the simulated I/O layer — see
+    docs/ROBUSTNESS.md. *)
+
+module Guard = Nra_guard.Guard
+(** Resource budgets and cooperative cancellation; pass a
+    {!Guard.budget} to {!query} / {!exec} / {!run}. *)
+
 module Algebra : sig
   module Basic = Nra_algebra.Basic
   module Join = Nra_algebra.Join
@@ -82,6 +90,33 @@ module Stats : sig
   module Cost = Nra_stats.Cost
 end
 
+(** {1 Errors} *)
+
+(** Every way a statement can fail, as one closed type.  The string API
+    ({!query}, {!exec}) renders these with {!Exec_error.to_string}; the
+    structured API ({!run}) returns them directly.  No exception escapes
+    the public entry points for malformed, unsupported, over-budget or
+    faulted statements. *)
+module Exec_error : sig
+  type t =
+    | Budget_exceeded of Guard.resource
+        (** killed by the active {!Guard.budget} *)
+    | Cancelled  (** killed via a cancelled {!Guard.token} *)
+    | Io_error of string
+        (** a (simulated) I/O fault survived the executor's retries *)
+    | Parse of { message : string; offset : int option; excerpt : string }
+        (** lex/parse failure, with the offending byte offset and a
+            caret excerpt when available *)
+    | Invalid of string
+        (** semantic rejection: unknown tables/columns, arity or type
+            mismatches, key violations, DDL misuse *)
+    | Unsupported of string
+        (** the chosen strategy cannot run this (well-formed) query *)
+    | Runtime of string  (** any other evaluator failure *)
+
+  val to_string : t -> string
+end
+
 (** {1 Convenience API} *)
 
 type strategy =
@@ -109,12 +144,18 @@ val strategy_of_string : string -> strategy option
 val strategy_to_string : strategy -> string
 
 val query :
-  ?strategy:strategy -> Catalog.t -> string -> (Relation.t, string) result
+  ?strategy:strategy ->
+  ?guard:Guard.budget ->
+  Catalog.t ->
+  string ->
+  (Relation.t, string) result
 (** Parse, analyze and run a SQL statement — a SELECT query, or several
     combined with [UNION / INTERSECT / EXCEPT [ALL]] (an ORDER BY /
     LIMIT after the last component applies to the combined result and
     must use output column names or 1-based positions).  Defaults to
-    [Nra_optimized]. *)
+    [Nra_optimized].  When [guard] is given, evaluation runs under that
+    budget and a crossed limit returns an [Error] instead of running
+    unbounded. *)
 
 val query_exn : ?strategy:strategy -> Catalog.t -> string -> Relation.t
 
@@ -126,15 +167,48 @@ type exec_result =
   | Done of string  (** DDL acknowledgement *)
 
 val exec :
-  ?strategy:strategy -> Catalog.t -> string -> (exec_result, string) result
+  ?strategy:strategy ->
+  ?guard:Guard.budget ->
+  Catalog.t ->
+  string ->
+  (exec_result, string) result
 (** Run any command: a query (like {!query}), [CREATE TABLE] (a
     [PRIMARY KEY] clause is mandatory — the engine's invariant),
     [DROP TABLE], [INSERT INTO t VALUES (…), …],
     [INSERT INTO t SELECT …], or [DELETE FROM t [WHERE …]] (the WHERE
     may contain subqueries and runs under the chosen strategy).
     Modifications revalidate the schema, enforce key uniqueness and
-    rebuild the table's indexes.  [ANALYZE [t]] collects optimizer
-    statistics (see {!Stats}) for one table or the whole catalog. *)
+    rebuild the table's indexes — all {e before} the single commit
+    point, so a budget kill, fault, or type error mid-DML leaves the
+    table, its indexes, and the catalog generation untouched.
+    [ANALYZE [t]] collects optimizer statistics (see {!Stats}) for one
+    table or the whole catalog. *)
+
+val run :
+  ?strategy:strategy ->
+  ?guard:Guard.budget ->
+  Catalog.t ->
+  string ->
+  (exec_result, Exec_error.t) result
+(** {!exec} with structured errors — the taxonomy of {!Exec_error}
+    instead of rendered strings. *)
+
+(** {1 Auto degradation knobs} *)
+
+val set_auto_guard : ?overrun:float -> ?floor_ms:float -> unit -> unit
+(** Configure [Auto]'s kill-and-fallback: the chosen plan runs under a
+    simulated-I/O budget of [max floor_ms (estimate *. overrun)]; if it
+    blows that budget it is killed, its I/O charges rolled back, and the
+    query rerun under [Nra_optimized] (counted in {!Guard.events}).
+    [overrun] is clamped to [>= 1.0] (default 4.0), [floor_ms] to
+    [>= 0.0] (default 1.0 — estimates near zero would otherwise make
+    every misestimate fatal).  The derived budget is intersected with
+    the client's own ({!Guard.min_budget}), and a kill attributable to
+    the client's budget is {e not} degraded: it surfaces as
+    [Budget_exceeded]. *)
+
+val auto_guard : unit -> float * float
+(** The current [(overrun, floor_ms)] pair. *)
 
 val explain : Catalog.t -> string -> (string, string) result
 (** A textual report: the block tree (the paper's "tree expression"),

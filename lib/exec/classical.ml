@@ -101,7 +101,11 @@ and apply_child cat t ~parent rel (c : A.child) : Relation.t =
   match choose t ~parent_id:parent.A.id c with
   | Iterate ->
       let k = Naive.compile cat t (Relation.schema rel) c in
-      Relation.filter (fun row -> T3.to_bool (k row)) rel
+      Relation.filter
+        (fun row ->
+          Nra_guard.Guard.tick ();
+          T3.to_bool (k row))
+        rel
   | (Semijoin | Antijoin) as s -> (
       let child_rel = reduce cat t b in
       (* uncorrelated EXISTS-style links reduce to an emptiness test,

@@ -22,10 +22,12 @@ let applicable ~uids c =
   List.for_all (fun u -> List.mem u uids) (cond_uids c)
 
 let block_relation ?(charge = true) (b : Analyze.block) =
+  Nra_guard.Guard.tick ();
   if charge then
     List.iter
       (fun (bd : Analyze.binding) ->
-        Iosim.charge_scan_rows (Table.cardinality bd.Analyze.table))
+        Fault.with_retries (fun () ->
+            Iosim.charge_scan_rows (Table.cardinality bd.Analyze.table)))
       b.Analyze.bindings;
   let pending = ref b.Analyze.local in
   let take uids =

@@ -49,6 +49,7 @@ and apply_child cat t rel (c : A.child) =
       let magic = Keyed.create (Relation.cardinality rel) in
       Array.iter
         (fun row ->
+          Nra_guard.Guard.tick ();
           let key = Array.map (Expr.eval_scalar row) outer_keys in
           if not (Array.exists Value.is_null key) then
             if not (Keyed.mem magic key) then Keyed.add magic key ())
@@ -67,6 +68,7 @@ and apply_child cat t rel (c : A.child) =
       let restricted =
         Relation.filter
           (fun row ->
+            Nra_guard.Guard.tick ();
             let key = Array.map (Expr.eval_scalar row) child_keys in
             (not (Array.exists Value.is_null key)) && Keyed.mem magic key)
           child_rel
@@ -80,6 +82,7 @@ and apply_child cat t rel (c : A.child) =
       let groups = Keyed.create (Relation.cardinality reduced) in
       Array.iter
         (fun row ->
+          Nra_guard.Guard.tick ();
           let key = Array.map (Expr.eval_scalar row) child_keys in
           if not (Array.exists Value.is_null key) then
             Keyed.add groups key
@@ -88,6 +91,7 @@ and apply_child cat t rel (c : A.child) =
         (Relation.rows reduced);
       Relation.filter
         (fun row ->
+          Nra_guard.Guard.tick ();
           let key = Array.map (Expr.eval_scalar row) outer_keys in
           let elems =
             if Array.exists Value.is_null key then [] else Keyed.get groups key

@@ -50,12 +50,13 @@ let index_access cat (bd : A.binding) outer_schema equis =
         Some
           (fun outer_row ->
             stats.index_probes <- stats.index_probes + 1;
-            Iosim.charge_probe ~matches:0;
+            Fault.with_retries (fun () -> Iosim.charge_probe ~matches:0);
             let key = Array.map (Expr.eval_scalar outer_row) scalars in
             let ids = ids_of key in
             Seq.map
               (fun id ->
-                Iosim.charge_row_fetch ~table:base_name ~row_id:id;
+                Fault.with_retries (fun () ->
+                    Iosim.charge_row_fetch ~table:base_name ~row_id:id);
                 rows.(id))
               (List.to_seq ids))
       in
@@ -166,11 +167,16 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
             (probe outer_row)
       | None ->
           (* nested iteration without an index rescans the inner block *)
-          List.iter Nra_storage.Iosim.charge_scan_rows scan_charges;
+          List.iter
+            (fun n ->
+              Nra_storage.Fault.with_retries (fun () ->
+                  Nra_storage.Iosim.charge_scan_rows n))
+            scan_charges;
           Array.to_seq scan_rows
     in
     Seq.filter_map
       (fun crow ->
+        Nra_guard.Guard.tick ();
         let row = Row.concat outer_row crow in
         if
           Expr.holds corr_pred row
@@ -206,6 +212,7 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
     go (match quant with `Any -> T3.False | `All -> T3.True) values
   in
   fun outer_row ->
+    Nra_guard.Guard.tick ();
     stats.inner_loops <- stats.inner_loops + 1;
     let qualifying = qualifying_for outer_row in
     match c.A.link with

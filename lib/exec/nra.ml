@@ -98,6 +98,7 @@ let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
       let out = ref [] in
       Array.iter
         (fun (key, elems) ->
+          Nra_guard.Guard.tick ();
           out := apply_mode mode verdict key (Array.to_list elems) !out)
         grouped.Nra_nested.Grouped.groups;
       (Relation.of_rows key_schema (List.rev !out), opts.nest_impl = `Sort)
@@ -113,6 +114,7 @@ let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
       let out = ref [] in
       let i = ref 0 in
       while !i < n do
+        Nra_guard.Guard.tick ();
         let start = !i in
         let key = Row.project_arr rows.(start) by in
         let elems = ref [] in
@@ -136,16 +138,20 @@ let record_intermediate st rel =
   let n = Relation.cardinality rel in
   st.total_intermediate_rows <- st.total_intermediate_rows + n;
   if n > st.peak_intermediate_rows then st.peak_intermediate_rows <- n;
+  Nra_guard.Guard.add_rows n;
   (* the stored-procedure setting of the paper's Section 5.1 pays a
      per-tuple cost to fetch the intermediate result from the engine *)
-  Nra_storage.Iosim.charge_fetch_rows n
+  Nra_storage.Fault.with_retries (fun () ->
+      Nra_storage.Iosim.charge_fetch_rows n)
 
 (* Per-row application of a linking predicate whose element set comes
    from a closure (virtual-cartesian-product and push-down paths). *)
 let rowwise mode verdict elems_of rel =
   let out = ref [] in
   Array.iter
-    (fun row -> out := apply_mode mode verdict row (elems_of row) !out)
+    (fun row ->
+      Nra_guard.Guard.tick ();
+      out := apply_mode mode verdict row (elems_of row) !out)
     (Relation.rows rel);
   Relation.of_rows (Relation.schema rel) (List.rev !out)
 

@@ -1,0 +1,191 @@
+type resource = Wall_clock | Sim_io | Rows
+
+let resource_to_string = function
+  | Wall_clock -> "wall-clock"
+  | Sim_io -> "simulated-io"
+  | Rows -> "intermediate-rows"
+
+type kill = Budget_exceeded of resource | Cancelled
+
+exception Killed of kill
+
+let kill_to_string = function
+  | Budget_exceeded r ->
+      Printf.sprintf "budget exceeded (%s)" (resource_to_string r)
+  | Cancelled -> "cancelled"
+
+(* ---------- cancellation ---------- *)
+
+type token = bool ref
+
+let token () = ref false
+let cancel t = t := true
+let cancelled t = !t
+
+(* ---------- budgets ---------- *)
+
+type budget = {
+  wall_ms : float option;
+  sim_io_ms : float option;
+  max_rows : int option;
+  cancel_on : token option;
+}
+
+let unlimited =
+  { wall_ms = None; sim_io_ms = None; max_rows = None; cancel_on = None }
+
+let budget ?wall_ms ?sim_io_ms ?max_rows ?cancel_on () =
+  { wall_ms; sim_io_ms; max_rows; cancel_on }
+
+let min_opt merge a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (merge a b)
+
+let min_budget a b =
+  {
+    wall_ms = min_opt Float.min a.wall_ms b.wall_ms;
+    sim_io_ms = min_opt Float.min a.sim_io_ms b.sim_io_ms;
+    max_rows = min_opt Int.min a.max_rows b.max_rows;
+    cancel_on = (match a.cancel_on with Some _ as t -> t | None -> b.cancel_on);
+  }
+
+let is_unlimited b =
+  b.wall_ms = None && b.sim_io_ms = None && b.max_rows = None
+  && b.cancel_on = None
+
+(* ---------- the active guard ---------- *)
+
+type state = {
+  b : budget;
+  wall_start : float;
+  io_start_ms : float;
+  mutable rows : int;
+  mutable ticks : int;
+}
+
+let current : state option ref = ref None
+
+let io_now_ms () = Nra_storage.Iosim.simulated_seconds () *. 1000.0
+
+let install b =
+  {
+    b;
+    wall_start = Unix.gettimeofday ();
+    io_start_ms = io_now_ms ();
+    rows = 0;
+    ticks = 0;
+  }
+
+let active () = Option.map (fun s -> s.b) !current
+
+(* ---------- events ---------- *)
+
+type events = {
+  budget_kills : int;
+  cancellations : int;
+  auto_fallbacks : int;
+}
+
+let ev = ref { budget_kills = 0; cancellations = 0; auto_fallbacks = 0 }
+let events () = !ev
+let reset_events () =
+  ev := { budget_kills = 0; cancellations = 0; auto_fallbacks = 0 }
+
+let note_fallback () =
+  ev := { !ev with auto_fallbacks = !ev.auto_fallbacks + 1 }
+
+let note_kill = function
+  | Budget_exceeded _ -> ev := { !ev with budget_kills = !ev.budget_kills + 1 }
+  | Cancelled -> ev := { !ev with cancellations = !ev.cancellations + 1 }
+
+(* ---------- checkpoints ---------- *)
+
+let check s =
+  (match s.b.cancel_on with
+  | Some t when !t -> raise (Killed Cancelled)
+  | _ -> ());
+  (match s.b.sim_io_ms with
+  | Some limit when io_now_ms () -. s.io_start_ms > limit ->
+      raise (Killed (Budget_exceeded Sim_io))
+  | _ -> ());
+  (* the wall clock moves slowly relative to row production; sample it
+     every 32nd tick to keep the checkpoint cheap *)
+  if s.ticks land 31 = 0 then
+    match s.b.wall_ms with
+    | Some limit
+      when (Unix.gettimeofday () -. s.wall_start) *. 1000.0 > limit ->
+        raise (Killed (Budget_exceeded Wall_clock))
+    | _ -> ()
+
+let tick () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      s.ticks <- s.ticks + 1;
+      check s
+
+let recheck () =
+  match !current with
+  | None -> ()
+  | Some s -> (
+      (match s.b.cancel_on with
+      | Some t when !t -> raise (Killed Cancelled)
+      | _ -> ());
+      (match s.b.sim_io_ms with
+      | Some limit when io_now_ms () -. s.io_start_ms > limit ->
+          raise (Killed (Budget_exceeded Sim_io))
+      | _ -> ());
+      (match s.b.wall_ms with
+      | Some limit
+        when (Unix.gettimeofday () -. s.wall_start) *. 1000.0 > limit ->
+          raise (Killed (Budget_exceeded Wall_clock))
+      | _ -> ());
+      match s.b.max_rows with
+      | Some limit when s.rows > limit ->
+          raise (Killed (Budget_exceeded Rows))
+      | _ -> ())
+
+let add_rows n =
+  match !current with
+  | None -> ()
+  | Some s -> (
+      s.rows <- s.rows + n;
+      match s.b.max_rows with
+      | Some limit when s.rows > limit ->
+          raise (Killed (Budget_exceeded Rows))
+      | _ -> ())
+
+let with_budget b f =
+  let saved = !current in
+  let s = install b in
+  current := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      current := saved;
+      (* rows materialized inside also count against the enclosing
+         budget (without re-raising during unwind: the next enclosing
+         add_rows/tick surfaces the overrun) *)
+      match saved with
+      | Some outer -> outer.rows <- outer.rows + s.rows
+      | None -> ())
+    f
+
+let remaining () =
+  match !current with
+  | None -> unlimited
+  | Some s ->
+      {
+        wall_ms =
+          Option.map
+            (fun l ->
+              Float.max 0.0
+                (l -. ((Unix.gettimeofday () -. s.wall_start) *. 1000.0)))
+            s.b.wall_ms;
+        sim_io_ms =
+          Option.map
+            (fun l -> Float.max 0.0 (l -. (io_now_ms () -. s.io_start_ms)))
+            s.b.sim_io_ms;
+        max_rows = Option.map (fun l -> Int.max 0 (l - s.rows)) s.b.max_rows;
+        cancel_on = s.b.cancel_on;
+      }

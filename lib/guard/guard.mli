@@ -1,0 +1,132 @@
+(** Query guard: resource budgets, cooperative cancellation, and the
+    kill events the engine's graceful-degradation story is built on.
+
+    The ROADMAP's north star is a server: no single query may run
+    unbounded.  A {!budget} caps three resources —
+
+    - {b wall-clock} milliseconds of real elapsed time;
+    - {b simulated I/O} milliseconds as accrued by {!Nra_storage.Iosim}
+      (the deterministic resource: the same query over the same data
+      always accrues the same charges, so budget kills in tests are
+      reproducible);
+    - {b intermediate rows} materialized by the evaluators (the nested
+      relational approach's wide intermediates, nested-iteration's
+      candidate streams);
+
+    — plus a cooperative {!token} a client (or a SIGINT handler) can
+    cancel from outside.
+
+    Enforcement is cooperative: every evaluator's row-producing loop
+    calls {!tick} (and {!add_rows} where intermediates materialize).
+    When a limit is crossed, {!tick} raises {!Killed}, which unwinds to
+    the facade — no state is mutated mid-DML because all DML validates
+    fully before committing (see docs/ROBUSTNESS.md).
+
+    On top of plain kills, [Auto] in {!Nra} runs its chosen plan under a
+    budget derived from the plan's own cost estimate; a kill there is
+    evidence of a cost-model misestimate and triggers fallback to the
+    always-applicable [Nra_optimized] strategy, counted in {!events}.
+
+    Global and single-threaded, like {!Nra_storage.Iosim}. *)
+
+type resource = Wall_clock | Sim_io | Rows
+
+val resource_to_string : resource -> string
+
+type kill = Budget_exceeded of resource | Cancelled
+
+exception Killed of kill
+(** Raised by {!tick} / {!add_rows}; unwinds the evaluator. *)
+
+val kill_to_string : kill -> string
+
+(** {1 Cancellation tokens} *)
+
+type token
+
+val token : unit -> token
+val cancel : token -> unit
+(** Safe to call from a signal handler: sets one mutable flag. *)
+
+val cancelled : token -> bool
+
+(** {1 Budgets} *)
+
+type budget = {
+  wall_ms : float option;
+  sim_io_ms : float option;
+  max_rows : int option;
+  cancel_on : token option;
+}
+
+val unlimited : budget
+
+val budget :
+  ?wall_ms:float ->
+  ?sim_io_ms:float ->
+  ?max_rows:int ->
+  ?cancel_on:token ->
+  unit ->
+  budget
+
+val min_budget : budget -> budget -> budget
+(** Element-wise tighter of the two; either cancel token cancels (the
+    first present one wins — callers combine an ambient budget with a
+    derived one, which shares the ambient token). *)
+
+val is_unlimited : budget -> bool
+
+val with_budget : budget -> (unit -> 'a) -> 'a
+(** Install the budget (fresh wall-clock and I/O baselines), run the
+    thunk, restore the previously active budget — even on exceptions.
+    Nested installs are independent except that intermediate rows
+    produced inside also count against the enclosing budget. *)
+
+val active : unit -> budget option
+(** The installed budget, if any. *)
+
+val remaining : unit -> budget
+(** What is left of the active budget right now ([unlimited] when none
+    is installed); limits are clamped at 0.  Carries the active cancel
+    token, so a sub-budget derived from it stays cancellable. *)
+
+val tick : unit -> unit
+(** The evaluator checkpoint: free when no budget is installed;
+    otherwise checks cancellation and the simulated-I/O limit every
+    call, and the wall clock every 32nd call.
+    @raise Killed when a limit is crossed. *)
+
+val add_rows : int -> unit
+(** Count intermediate-result rows against the active (and any
+    enclosing) budget.
+    @raise Killed when the row limit is crossed. *)
+
+val recheck : unit -> unit
+(** An immediate, unconditional check of {e every} limit of the active
+    budget (including the wall clock, which {!tick} only samples).  The
+    facade calls this after an Auto attempt is killed and rolled back,
+    to distinguish "the attempt's derived budget blew" (degrade and
+    rerun) from "the client's own budget is exhausted" (re-raise — no
+    rerun could succeed).
+    @raise Killed when a limit is crossed. *)
+
+(** {1 Degradation events} *)
+
+type events = {
+  budget_kills : int;  (** queries killed over budget *)
+  cancellations : int;  (** queries killed by a cancelled token *)
+  auto_fallbacks : int;
+      (** Auto attempts killed and rerun on [Nra_optimized] *)
+}
+
+val events : unit -> events
+val reset_events : unit -> unit
+
+val note_fallback : unit -> unit
+(** Called by the facade when Auto degrades; public so alternative
+    front ends can record their own fallbacks. *)
+
+val note_kill : kill -> unit
+(** Called by the facade when a {!Killed} surfaces as a user-facing
+    error (not on every raise: Auto's killed attempts that degrade
+    successfully count only as fallbacks). *)

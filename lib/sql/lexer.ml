@@ -28,14 +28,16 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_loc src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
+  let tok_start = ref 0 in
+  let emit t = tokens := (t, !tok_start) :: !tokens in
   let pos = ref 0 in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
   let fail msg = raise (Lex_error (msg, !pos)) in
   while !pos < n do
+    tok_start := !pos;
     let c = src.[!pos] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
     else if c = '-' && peek 1 = Some '-' then begin
@@ -114,7 +116,9 @@ let tokenize src =
           | _ -> fail (Printf.sprintf "unexpected character %C" c))
     end
   done;
-  List.rev (EOF :: !tokens)
+  List.rev ((EOF, n) :: !tokens)
+
+let tokenize src = List.map fst (tokenize_loc src)
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "ident %s" s

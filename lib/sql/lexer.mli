@@ -17,6 +17,11 @@ exception Lex_error of string * int  (** message, position *)
 
 val tokenize : string -> token list
 
+val tokenize_loc : string -> (token * int) list
+(** Tokens paired with their starting byte offset in the source; the
+    final [EOF] carries [String.length src].  Parse errors report these
+    offsets back to the user (with a caret excerpt). *)
+
 val keywords : string list
 (** The recognized keyword set (lower-case). *)
 

@@ -3,13 +3,22 @@ module T3 = Three_valued
 
 exception Parse_error of string
 
-type state = { tokens : Lexer.token array; mutable cursor : int }
+(* internal: every failure carries the byte offset of the offending
+   token, so user-facing messages can point into the query text *)
+exception Parse_error_at of string * int
+
+type state = {
+  tokens : Lexer.token array;
+  offsets : int array;
+  mutable cursor : int;
+}
 
 let fail st msg =
+  let i = min st.cursor (Array.length st.tokens - 1) in
   raise
-    (Parse_error
-       (Format.asprintf "%s (at token %d: %a)" msg st.cursor Lexer.pp_token
-          st.tokens.(min st.cursor (Array.length st.tokens - 1))))
+    (Parse_error_at
+       ( Format.asprintf "%s (got %a)" msg Lexer.pp_token st.tokens.(i),
+         st.offsets.(i) ))
 
 let peek st = st.tokens.(st.cursor)
 let peek2 st =
@@ -218,7 +227,7 @@ and predicate st =
               st.cursor <- saved;
               expr_predicate st
           | _ -> c)
-      | exception Parse_error _ ->
+      | exception Parse_error_at _ ->
           st.cursor <- saved;
           expr_predicate st)
   | _ -> expr_predicate st
@@ -606,28 +615,78 @@ let command st : Ast.command =
                Lexer.pp_token t))
   | _ -> Ast.Cmd_query (statement st)
 
+(* ---------- error rendering ---------- *)
+
+type located_error = { message : string; offset : int option; excerpt : string }
+
+(* One display line of the query around [pos], control characters
+   flattened to spaces, with a caret line pointing at the offset. *)
+let excerpt src pos =
+  let clean =
+    String.map (fun c -> if c = '\n' || c = '\t' || c = '\r' then ' ' else c) src
+  in
+  let n = String.length clean in
+  let pos = min (max pos 0) n in
+  let width = 64 in
+  let from = max 0 (min (pos - (width / 2)) (n - width)) in
+  let upto = min n (from + width) in
+  let prefix = if from > 0 then "…" else "" in
+  let suffix = if upto < n then "…" else "" in
+  let line = prefix ^ String.sub clean from (upto - from) ^ suffix in
+  let caret_col = String.length prefix + (pos - from) in
+  Printf.sprintf "  %s\n  %s^" line (String.make caret_col ' ')
+
+let render_error (e : located_error) =
+  match e.offset with
+  | None -> e.message
+  | Some pos -> Printf.sprintf "%s at offset %d\n%s" e.message pos e.excerpt
+
+let located f src =
+  match f src with
+  | v -> Ok v
+  | exception Parse_error_at (m, pos) ->
+      Error { message = m; offset = Some pos; excerpt = excerpt src pos }
+  | exception Parse_error m -> Error { message = m; offset = None; excerpt = "" }
+  | exception Lexer.Lex_error (m, pos) ->
+      Error
+        {
+          message = "lexical error: " ^ m;
+          offset = Some pos;
+          excerpt = excerpt src pos;
+        }
+
 let with_state src f =
-  let tokens = Array.of_list (Lexer.tokenize src) in
-  let st = { tokens; cursor = 0 } in
+  let toks = Lexer.tokenize_loc src in
+  let tokens = Array.of_list (List.map fst toks) in
+  let offsets = Array.of_list (List.map snd toks) in
+  let st = { tokens; offsets; cursor = 0 } in
   let result = f st in
   (match peek st with
   | Lexer.EOF -> ()
   | t -> fail st (Format.asprintf "trailing input starting with %a" Lexer.pp_token t));
   result
 
-let parse src = with_state src query
-let parse_expr src = with_state src expr
-let parse_statement src = with_state src statement
+(* exception-raising entry points keep raising the public [Parse_error],
+   now with the offset rendered into the message *)
+let raising f src =
+  try f src
+  with Parse_error_at (m, pos) ->
+    raise (Parse_error (Printf.sprintf "%s at offset %d" m pos))
 
-let errors_to_result f src =
-  match f src with
-  | q -> Ok q
-  | exception Parse_error m -> Error m
-  | exception Lexer.Lex_error (m, pos) ->
-      Error (Printf.sprintf "lexical error at offset %d: %s" pos m)
+let parse src = raising (fun src -> with_state src query) src
+let parse_expr src = raising (fun src -> with_state src expr) src
+let parse_statement src = raising (fun src -> with_state src statement) src
+let parse_command src = raising (fun src -> with_state src command) src
 
-let parse_command src = with_state src command
+let parse_located src = located (fun src -> with_state src query) src
 
-let parse_result src = errors_to_result parse src
-let parse_statement_result src = errors_to_result parse_statement src
-let parse_command_result src = errors_to_result parse_command src
+let parse_statement_located src =
+  located (fun src -> with_state src statement) src
+
+let parse_command_located src = located (fun src -> with_state src command) src
+
+let errors_to_result f src = Result.map_error render_error (f src)
+
+let parse_result src = errors_to_result parse_located src
+let parse_statement_result src = errors_to_result parse_statement_located src
+let parse_command_result src = errors_to_result parse_command_located src

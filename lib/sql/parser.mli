@@ -2,6 +2,25 @@
 
 exception Parse_error of string
 
+type located_error = {
+  message : string;
+  offset : int option;  (** byte offset of the offending token *)
+  excerpt : string;
+      (** a one-line window of the query with a caret under the offset;
+          empty when there is no offset *)
+}
+
+val excerpt : string -> int -> string
+(** [excerpt src pos] renders the caret excerpt used in
+    {!located_error}. *)
+
+val render_error : located_error -> string
+(** ["<message> at offset <n>\n  <query excerpt>\n  ^"]. *)
+
+val parse_located : string -> (Ast.query, located_error) result
+val parse_statement_located : string -> (Ast.statement, located_error) result
+val parse_command_located : string -> (Ast.command, located_error) result
+
 val parse : string -> Ast.query
 (** A single SELECT query.
     @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,118 @@
+exception Io_fault of string
+
+type config = {
+  probability : float;
+  seed : int;
+  max_retries : int;
+  backoff_ms : float;
+}
+
+let default_config =
+  { probability = 0.0; seed = 0; max_retries = 6; backoff_ms = 0.05 }
+
+type stats = {
+  injected : int;
+  retried : int;
+  escaped : int;
+  backoff_ms_total : float;
+}
+
+let zero_stats =
+  { injected = 0; retried = 0; escaped = 0; backoff_ms_total = 0.0 }
+
+let current = ref default_config
+let st = ref zero_stats
+
+(* splitmix64: every draw is a function of (seed, draw index) only, so a
+   fault trace is reproducible from the config alone *)
+let prng_state = ref 0L
+
+let next_u64 () =
+  let open Int64 in
+  prng_state := add !prng_state 0x9E3779B97F4A7C15L;
+  let z = !prng_state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let draw () =
+  (* uniform in [0, 1) from the top 53 bits *)
+  Int64.to_float (Int64.shift_right_logical (next_u64 ()) 11)
+  /. 9007199254740992.0
+
+let config () = !current
+let enabled () = !current.probability > 0.0
+
+let configure ?seed ?max_retries ?backoff_ms probability =
+  let c = !current in
+  let seed = Option.value seed ~default:c.seed in
+  current :=
+    {
+      probability = Float.max 0.0 (Float.min 1.0 probability);
+      seed;
+      max_retries = Option.value max_retries ~default:c.max_retries;
+      backoff_ms = Option.value backoff_ms ~default:c.backoff_ms;
+    };
+  prng_state := Int64.of_int seed;
+  st := zero_stats
+
+let disable () = current := { !current with probability = 0.0 }
+
+let stats () = !st
+let reset_stats () = st := zero_stats
+
+let inject site =
+  let c = !current in
+  if c.probability > 0.0 && draw () < c.probability then begin
+    st := { !st with injected = !st.injected + 1 };
+    raise (Io_fault site)
+  end
+
+let with_retries f =
+  let c = !current in
+  let rec go attempt =
+    try f ()
+    with Io_fault _ as e ->
+      if attempt >= c.max_retries then begin
+        st := { !st with escaped = !st.escaped + 1 };
+        raise e
+      end
+      else begin
+        let pause = c.backoff_ms *. (2.0 ** float_of_int attempt) in
+        st :=
+          {
+            !st with
+            retried = !st.retried + 1;
+            backoff_ms_total = !st.backoff_ms_total +. pause;
+          };
+        if pause > 0.0 then Unix.sleepf (pause /. 1000.0);
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+(* CI enables injection for a whole `dune runtest` via the environment:
+   NRA_FAULT_INJECT="p", "p:seed", or "p:seed:retries" *)
+let () =
+  match Sys.getenv_opt "NRA_FAULT_INJECT" with
+  | None -> ()
+  | Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ p ] -> (
+          match float_of_string_opt p with
+          | Some p -> configure p
+          | None -> ())
+      | [ p; seed ] -> (
+          match (float_of_string_opt p, int_of_string_opt seed) with
+          | Some p, Some seed -> configure ~seed p
+          | _ -> ())
+      | p :: seed :: retries :: _ -> (
+          match
+            ( float_of_string_opt p,
+              int_of_string_opt seed,
+              int_of_string_opt retries )
+          with
+          | Some p, Some seed, Some max_retries ->
+              configure ~seed ~max_retries p
+          | _ -> ())
+      | [] -> ())

@@ -1,0 +1,72 @@
+(** Deterministic fault injection for the simulated storage layer.
+
+    Production storage fails: pages go unreadable, fetches time out,
+    caches return garbage under memory pressure.  This module lets the
+    read paths fronted by {!Iosim} — sequential scans, index probes, and
+    the {!Lru}-backed rowid fetches — raise transient {!Io_fault}s with
+    a configured probability, drawn from a seeded PRNG so every run is
+    reproducible.  The executors wrap those read paths in
+    {!with_retries}, a bounded retry-with-exponential-backoff loop, so
+    the whole abort/retry/fallback machinery (see docs/ROBUSTNESS.md)
+    is testable end to end:
+
+    - with [probability] in (0, 1), faults are {e transient}: a retry
+      redraws the PRNG and almost surely succeeds within the bound;
+    - with [probability = 1.0], faults are {e permanent}: the retry
+      budget exhausts and the last {!Io_fault} escapes to the facade,
+      which surfaces it as a structured [Io_error].
+
+    Like {!Iosim}, everything is global and single-threaded.
+
+    The environment variable [NRA_FAULT_INJECT] ("p", "p:seed", or
+    "p:seed:retries") configures injection at program start — this is
+    how CI runs the whole test suite under injection. *)
+
+exception Io_fault of string
+(** A (simulated) failed storage read.  The payload names the site,
+    e.g. ["scan"], ["probe"], ["fetch"]. *)
+
+type config = {
+  probability : float;  (** per-read fault probability in [0, 1] *)
+  seed : int;  (** PRNG seed; same seed + same read sequence = same faults *)
+  max_retries : int;  (** attempts beyond the first in {!with_retries} *)
+  backoff_ms : float;
+      (** base backoff; attempt [k] sleeps [backoff_ms * 2^k].  The
+          sleep is real (wall-clock) but defaults small enough that a
+          full test run under injection stays fast. *)
+}
+
+val default_config : config
+(** Disabled: probability 0.0, seed 0, 6 retries, 0.05 ms backoff. *)
+
+val config : unit -> config
+
+val configure :
+  ?seed:int -> ?max_retries:int -> ?backoff_ms:float -> float -> unit
+(** [configure p] enables injection with probability [p] (clamped to
+    [0, 1]), reseeds the PRNG, and resets {!stats}. *)
+
+val disable : unit -> unit
+(** Probability back to 0.0; stats are kept for inspection. *)
+
+val enabled : unit -> bool
+
+val inject : string -> unit
+(** Called by the storage read paths: draws the PRNG and raises
+    [Io_fault site] with the configured probability.  Free (no draw)
+    when disabled. *)
+
+val with_retries : (unit -> 'a) -> 'a
+(** Run the thunk, retrying up to [max_retries] extra attempts when it
+    raises {!Io_fault}, sleeping an exponentially growing backoff
+    between attempts.  The final attempt's fault propagates. *)
+
+type stats = {
+  injected : int;  (** faults raised by {!inject} *)
+  retried : int;  (** attempts re-run by {!with_retries} *)
+  escaped : int;  (** faults that exhausted the retry budget *)
+  backoff_ms_total : float;  (** cumulative sleep *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

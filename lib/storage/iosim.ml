@@ -48,32 +48,58 @@ let pages rows =
   let rpp = !current.rows_per_page in
   (rows + rpp - 1) / rpp
 
+(* Fault.inject sits at the head of every charge function, before any
+   counter or cache mutation, so a Fault.with_retries re-run never
+   double-charges *)
+
+let add_rand n =
+  state := { !state with rand_pages = !state.rand_pages + n }
+
 let charge_scan_rows rows =
+  Fault.inject "scan";
   state := { !state with seq_pages = !state.seq_pages + pages rows }
 
 let charge_probe ~matches =
+  Fault.inject "probe";
   state := { !state with rand_pages = !state.rand_pages + 1 + matches }
 
 let charge_random_pages n =
-  state := { !state with rand_pages = !state.rand_pages + n }
+  Fault.inject "read";
+  add_rand n
 
 let charge_row_fetch ~table ~row_id =
+  Fault.inject "fetch";
   let page =
     Hashtbl.hash (table, row_id / !current.rows_per_page)
   in
   if Lru.touch !cache page then incr hits
   else begin
     incr misses;
-    charge_random_pages 1
+    add_rand 1
   end
 
 let cache_hits () = !hits
 let cache_misses () = !misses
 
 let charge_fetch_rows rows =
+  Fault.inject "transfer";
   state := { !state with fetched_rows = !state.fetched_rows + rows }
 
 let counters () = !state
+
+(* aborted-attempt rollback: Auto's kill-and-fallback undoes the killed
+   plan's charges so the simulation reflects only work that produced the
+   answer.  Cache contents are deliberately kept — a real buffer pool
+   stays warm after an aborted query *)
+
+type checkpoint = { cp_state : counters; cp_hits : int; cp_misses : int }
+
+let checkpoint () = { cp_state = !state; cp_hits = !hits; cp_misses = !misses }
+
+let rollback cp =
+  state := cp.cp_state;
+  hits := cp.cp_hits;
+  misses := cp.cp_misses
 
 let simulated_seconds () =
   let c = !current and s = !state in

@@ -82,5 +82,15 @@ type counters = {
 
 val counters : unit -> counters
 
+type checkpoint
+
+val checkpoint : unit -> checkpoint
+(** Snapshot the charge counters (and cache hit/miss tallies). *)
+
+val rollback : checkpoint -> unit
+(** Restore a snapshot: the charges of an aborted attempt vanish from
+    the simulation.  Buffer-cache {e contents} are kept — a real pool
+    stays warm after an aborted query — only the tallies rewind. *)
+
 val simulated_seconds : unit -> float
 (** Simulated elapsed I/O time since the last [reset]. *)

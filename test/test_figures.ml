@@ -7,6 +7,11 @@ open Nra
 module I = Nra_storage.Iosim
 module Q = Tpch.Queries
 
+(* figure shapes compare measured CPU and exact simulated I/O between
+   strategies; retry backoff sleeps under a CI-wide NRA_FAULT_INJECT
+   run would distort both, so injection is off here *)
+let () = Fault.disable ()
+
 let cat =
   lazy
     (let cat =
@@ -115,17 +120,20 @@ let test_original_vs_optimized_cpu () =
   | Error m -> Alcotest.fail m
   | Ok t ->
       let module N = Exec.Nra_exec in
-      (* median of 5 to de-noise *)
-      let measure options =
-        let xs =
-          List.init 5 (fun _ ->
-              let _, st = N.run_where ~options cat t in
-              st.N.nest_select_seconds)
-        in
-        List.nth (List.sort compare xs) 2
+      (* interleave the two variants and keep the minimum of each: under
+         a loaded CI machine (e.g. the whole suite in parallel) wall
+         clock spikes hit some repetitions, but the best run of each
+         still approximates its unloaded cost *)
+      let once options =
+        let _, st = N.run_where ~options cat t in
+        st.N.nest_select_seconds
       in
-      let orig = measure N.original in
-      let opt = measure N.optimized in
+      let orig = ref infinity and opt = ref infinity in
+      for _ = 1 to 7 do
+        orig := Float.min !orig (once N.original);
+        opt := Float.min !opt (once N.optimized)
+      done;
+      let orig = !orig and opt = !opt in
       Alcotest.(check bool)
         (Printf.sprintf "optimized (%.4fs) <= original (%.4fs) + noise" opt
            orig)

@@ -1,6 +1,11 @@
 open Nra
 module I = Nra_storage.Iosim
 
+(* these tests pin the simulator's exact accounting by calling the
+   charge functions directly (no retry wrapper), so a CI-wide
+   NRA_FAULT_INJECT run must not perturb them *)
+let () = Fault.disable ()
+
 let approx = Alcotest.float 1e-9
 
 let with_config cfg f =
