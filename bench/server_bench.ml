@@ -1,0 +1,197 @@
+(* Serving-layer workload driver: N simulated clients replay the
+   Figure-4 query mix through the server (sessions + admission control +
+   plan cache), in the engine's deterministic virtual-time model.
+
+   Each client is a session; arrivals are open-loop, round-robin with a
+   fixed inter-arrival gap, so with service times far above the gap the
+   admission queue fills and the run exercises queueing, queue timeouts
+   and rejections — all reproducibly, since both the data and the clock
+   are simulated.  Before the last round one client issues ANALYZE,
+   which bumps the statistics epoch and invalidates the cached plans.
+
+   Reports throughput (virtual qps), p50/p95 latency, rejections and
+   the plan-cache hit rate, to stdout and BENCH_server.json.
+
+   Usage:
+     dune exec bench/server_bench.exe
+     dune exec bench/server_bench.exe -- --scale 0.005 --clients 4 \
+       --rounds 2 --max-concurrent 2 --queue-len 4 \
+       --queue-timeout-ms 3000 --gap-ms 10 *)
+
+module Server = Nra_server.Server
+module Admission = Nra_server.Admission
+module Plan_cache = Nra_server.Plan_cache
+module Q = Nra.Tpch.Queries
+
+let scale = ref 0.01
+let clients = ref 8
+let rounds = ref 3
+let max_concurrent = ref 2
+let queue_len = ref 4
+let queue_timeout_ms = ref 5_000.0
+let gap_ms = ref 10.0
+let out_path = ref "BENCH_server.json"
+
+let usage () =
+  prerr_endline
+    "usage: server_bench.exe [--scale S] [--clients N] [--rounds N] \
+     [--max-concurrent N] [--queue-len N] [--queue-timeout-ms MS] \
+     [--gap-ms MS] [--out PATH]";
+  exit 2
+
+let () =
+  let int_ref r n = match int_of_string_opt n with
+    | Some v when v > 0 -> r := v
+    | _ -> usage ()
+  and float_ref r s = match float_of_string_opt s with
+    | Some v when v > 0.0 -> r := v
+    | _ -> usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: s :: rest -> float_ref scale s; parse rest
+    | "--clients" :: n :: rest -> int_ref clients n; parse rest
+    | "--rounds" :: n :: rest -> int_ref rounds n; parse rest
+    | "--max-concurrent" :: n :: rest -> int_ref max_concurrent n; parse rest
+    | "--queue-len" :: n :: rest -> int_ref queue_len n; parse rest
+    | "--queue-timeout-ms" :: s :: rest -> float_ref queue_timeout_ms s; parse rest
+    | "--gap-ms" :: s :: rest -> float_ref gap_ms s; parse rest
+    | "--out" :: p :: rest -> out_path := p; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* the Figure-4 mix: Query 1 across the paper's outer-block sweep *)
+let query_mix () =
+  [ 500.; 1_500.; 4_000.; 8_000.; 12_000.; 16_000. ]
+  |> List.map (fun n ->
+         let lo, hi = Q.q1_window ~outer_fraction:(n /. 1_500_000.) in
+         Q.q1 ~date_lo:lo ~date_hi:hi)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let () =
+  let cfg = { Nra.Tpch.Gen.default with Nra.Tpch.Gen.scale = !scale } in
+  Printf.printf "generating TPC-H data at scale %.3f...\n%!" !scale;
+  let cat = Nra.Tpch.Gen.generate cfg in
+  Nra.Tpch.Gen.add_benchmark_indexes cat;
+  ignore (Nra.exec cat "analyze");
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          admission =
+            {
+              Admission.max_concurrent = !max_concurrent;
+              queue_len = !queue_len;
+              queue_timeout_ms = Some !queue_timeout_ms;
+            };
+          strategy = Nra.Auto;
+        }
+      cat
+  in
+  let sessions =
+    Array.init !clients (fun i ->
+        Server.session server ~label:(Printf.sprintf "client-%d" i) ())
+  in
+  let mix = Array.of_list (query_mix ()) in
+  let outcomes = ref [] in
+  let note os = outcomes := List.rev_append os !outcomes in
+  let n_stmts = ref 0 in
+  let host_t0 = Unix.gettimeofday () in
+  for round = 0 to !rounds - 1 do
+    (* an ANALYZE before the last round: the statistics epoch bump
+       invalidates every cached plan, visible in the counters *)
+    if round = !rounds - 1 && !rounds > 1 then
+      ignore (Server.exec server sessions.(0) "analyze");
+    Array.iteri
+      (fun k sql ->
+        Array.iteri
+          (fun i s ->
+            let seq = (round * Array.length mix) + k in
+            let at =
+              float_of_int ((seq * !clients) + i) *. !gap_ms
+            in
+            incr n_stmts;
+            match Server.submit server ~at s sql with
+            | `Done o -> note [ o ]
+            | `Queued -> ())
+          sessions;
+        note (Server.drain server))
+      mix
+  done;
+  note (Server.finish server);
+  let host_s = Unix.gettimeofday () -. host_t0 in
+  let outcomes = List.rev !outcomes in
+  let ok, rejected, timed_out, other_err = (ref 0, ref 0, ref 0, ref 0) in
+  let lat = ref [] in
+  List.iter
+    (fun o ->
+      match o.Server.result with
+      | Ok _ ->
+          incr ok;
+          lat := Server.latency_ms o :: !lat
+      | Error (Nra.Exec_error.Rejected _) -> incr rejected
+      | Error (Nra.Exec_error.Queue_timeout _) -> incr timed_out
+      | Error _ -> incr other_err)
+    outcomes;
+  let sorted = Array.of_list !lat in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  let virtual_s = Server.now server /. 1000.0 in
+  let qps = if virtual_s > 0.0 then float_of_int !ok /. virtual_s else 0.0 in
+  let cs = Plan_cache.stats (Server.cache server) in
+  let hit_rate = Plan_cache.hit_rate cs in
+  let a = Server.admission_stats server in
+  Printf.printf
+    "%d clients x %d rounds x %d queries = %d statements (%d outcomes)\n"
+    !clients !rounds (Array.length mix) !n_stmts (List.length outcomes);
+  Printf.printf
+    "ok %d, rejected %d, queue timeouts %d, other errors %d\n" !ok !rejected
+    !timed_out !other_err;
+  Printf.printf
+    "virtual time %.2fs -> %.2f qps; latency p50 %.1f ms, p95 %.1f ms \
+     (host %.2fs)\n"
+    virtual_s qps p50 p95 host_s;
+  Format.printf "%a@.%a@." Admission.pp_stats a Plan_cache.pp_stats cs;
+  let oc = open_out !out_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %g,\n\
+    \  \"clients\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"max_concurrent\": %d,\n\
+    \  \"queue_len\": %d,\n\
+    \  \"queue_timeout_ms\": %g,\n\
+    \  \"gap_ms\": %g,\n\
+    \  \"statements\": %d,\n\
+    \  \"ok\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"queue_timeouts\": %d,\n\
+    \  \"other_errors\": %d,\n\
+    \  \"virtual_seconds\": %.4f,\n\
+    \  \"throughput_qps\": %.4f,\n\
+    \  \"latency_p50_ms\": %.2f,\n\
+    \  \"latency_p95_ms\": %.2f,\n\
+    \  \"host_seconds\": %.3f,\n\
+    \  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f, \
+     \"invalidations\": %d, \"evictions\": %d},\n\
+    \  \"admission\": {\"admitted\": %d, \"queued\": %d, \"rejected_full\": \
+     %d, \"timed_out\": %d, \"peak_running\": %d, \"peak_queue\": %d}\n\
+     }\n"
+    !scale !clients !rounds !max_concurrent !queue_len !queue_timeout_ms
+    !gap_ms !n_stmts !ok !rejected !timed_out !other_err virtual_s qps p50
+    p95 host_s cs.Plan_cache.hits cs.Plan_cache.misses hit_rate
+    cs.Plan_cache.invalidations cs.Plan_cache.evictions a.Admission.admitted
+    a.Admission.queued a.Admission.rejected_full a.Admission.timed_out
+    a.Admission.peak_running a.Admission.peak_queue;
+  close_out oc;
+  Printf.printf "wrote %s\n" !out_path;
+  if hit_rate <= 0.0 then begin
+    prerr_endline "FAIL: plan-cache hit rate is zero";
+    exit 1
+  end

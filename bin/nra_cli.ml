@@ -111,6 +111,50 @@ let fault_seed =
 
 let install_faults p seed = if p > 0.0 then Nra.Fault.configure ~seed p
 
+(* ---------- serving-layer options (repl) ---------- *)
+
+let session_wall_ms =
+  let doc =
+    "Aggregate wall-clock budget (ms) for the whole REPL session; spent \
+     down by every statement."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "session-budget-wall-ms" ] ~docv:"MS" ~doc)
+
+let session_io_ms =
+  let doc =
+    "Aggregate simulated-I/O budget (ms) for the whole REPL session."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "session-budget-io-ms" ] ~docv:"MS" ~doc)
+
+let session_rows =
+  let doc =
+    "Aggregate intermediate-row budget for the whole REPL session."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "session-budget-rows" ] ~docv:"N" ~doc)
+
+let max_concurrent =
+  let doc = "Admission control: concurrent execution slots." in
+  Arg.(
+    value
+    & opt int Nra_server.Admission.default_config.max_concurrent
+    & info [ "max-concurrent" ] ~docv:"N" ~doc)
+
+let queue_len =
+  let doc = "Admission control: bounded wait-queue length." in
+  Arg.(
+    value
+    & opt int Nra_server.Admission.default_config.queue_len
+    & info [ "queue-len" ] ~docv:"N" ~doc)
+
 (* Run [f] over a budget assembled from the flags, with SIGINT wired to
    the budget's cancel token for the duration (the default Ctrl-C
    behavior is restored afterwards, so a second Ctrl-C at a prompt still
@@ -283,12 +327,32 @@ let analyze_cmd =
         (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
 let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
-    max_rows faults fault_seed =
+    max_rows faults fault_seed session_wall_ms session_io_ms session_rows
+    max_concurrent queue_len =
   let cat = make_catalog scale seed null_rate not_null in
   install_faults faults fault_seed;
+  let server =
+    Nra_server.Server.create
+      ~config:
+        {
+          Nra_server.Server.default_config with
+          admission =
+            {
+              Nra_server.Admission.default_config with
+              max_concurrent;
+              queue_len;
+            };
+          session_wall_ms;
+          session_sim_io_ms = session_io_ms;
+          session_rows;
+          strategy;
+        }
+      cat
+  in
+  let session = Nra_server.Server.session server ~label:"repl" () in
   Printf.printf
     "nra repl — strategy %s; end statements with a blank line; \\q quits; \
-     Ctrl-C cancels the running statement.\n"
+     \\session reports the session; Ctrl-C cancels the running statement.\n"
     (Nra.strategy_to_string strategy);
   let buf = Buffer.create 256 in
   let rec loop () =
@@ -296,21 +360,25 @@ let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
     else print_string "...> ";
     flush stdout;
     match input_line stdin with
-    | exception End_of_file -> ()
-    | "\\q" -> ()
+    | exception End_of_file -> Nra_server.Server.close_session server session
+    | "\\q" -> Nra_server.Server.close_session server session
+    | "\\session" ->
+        print_endline (Nra_server.Server.report server session);
+        loop ()
     | "" when Buffer.length buf > 0 ->
         let sql = Buffer.contents buf in
         Buffer.clear buf;
         (* the SIGINT handler is scoped to the statement: Ctrl-C here
-           cancels cooperatively, Ctrl-C at the prompt still exits *)
+           cancels cooperatively, Ctrl-C at the prompt still exits.  The
+           per-statement guard only tightens the session allowance. *)
         (match
            with_guard_flags timeout_ms io_budget_ms max_rows (fun guard ->
-               Nra.exec ~strategy ~guard cat sql)
+               Nra_server.Server.exec server ~guard session sql)
          with
         | Ok (Nra.Rows rel) -> Format.printf "%a@." Nra.Relation.pp rel
         | Ok (Nra.Count n) -> Printf.printf "%d row(s) affected\n" n
         | Ok (Nra.Done msg) -> print_endline msg
-        | Error m -> Printf.printf "error: %s\n" m);
+        | Error e -> Printf.printf "error: %s\n" (Nra.Exec_error.to_string e));
         loop ()
     | "" -> loop ()
     | line ->
@@ -321,11 +389,19 @@ let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
   loop ()
 
 let repl_cmd =
-  let info = Cmd.info "repl" ~doc:"Interactive SQL loop." in
+  let info =
+    Cmd.info "repl"
+      ~doc:
+        "Interactive SQL loop through the serving layer: a session with \
+         optional aggregate budgets, admission control, and a \
+         generation-checked plan cache."
+  in
   Cmd.v info
     Term.(
       const run_repl $ strategy $ scale $ seed $ null_rate $ not_null
-      $ timeout_ms $ io_budget_ms $ max_rows $ faults $ fault_seed)
+      $ timeout_ms $ io_budget_ms $ max_rows $ faults $ fault_seed
+      $ session_wall_ms $ session_io_ms $ session_rows $ max_concurrent
+      $ queue_len)
 
 let main =
   let info =

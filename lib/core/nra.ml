@@ -75,6 +75,8 @@ module Exec_error = struct
     | Invalid of string
     | Unsupported of string
     | Runtime of string
+    | Rejected of string
+    | Queue_timeout of { waited_ms : float }
 
   let to_string = function
     | Budget_exceeded r ->
@@ -87,6 +89,11 @@ module Exec_error = struct
         ^ Nra_sql.Parser.render_error
             { Nra_sql.Parser.message; offset; excerpt }
     | Invalid m | Unsupported m | Runtime m -> m
+    | Rejected m -> Printf.sprintf "statement rejected: %s" m
+    | Queue_timeout { waited_ms } ->
+        Printf.sprintf
+          "statement rejected: timed out in the admission queue after \
+           %.1f ms" waited_ms
 end
 
 (* Convert the engine's runtime exceptions into the taxonomy.  Kills are
@@ -152,12 +159,24 @@ let of_cost_strategy = function
   | Nra_stats.Cost.Nra_optimized -> Nra_optimized
   | Nra_stats.Cost.Nra_full -> Nra_full
 
+(* Budget-aware choice: when the caller runs under a guard, prefer the
+   cheapest plan whose estimate FITS what is left of that budget over
+   the globally cheapest one — a tight row allowance steers away from
+   the NRA's wide intermediates even when they are I/O-cheaper.  With
+   no active guard, [Guard.remaining ()] is unlimited and this is the
+   plain cheapest. *)
+let budget_pick es =
+  let r = Guard.remaining () in
+  Nra_stats.Cost.pick ~remaining_io_ms:r.Guard.sim_io_ms
+    ~remaining_rows:r.Guard.max_rows es
+
 (* the cost model's choice, mapped into this facade's strategy type;
    estimation is pure (no Iosim charges) but involves the executors'
    planners, so any failure falls back to the default strategy *)
 let auto_pick cat t =
-  match Nra_stats.Cost.choose cat t with
-  | s -> of_cost_strategy s
+  match Nra_stats.Cost.estimates cat t with
+  | [] -> Nra_optimized
+  | es -> of_cost_strategy (budget_pick es).Nra_stats.Cost.strategy
   | exception _ -> Nra_optimized
 
 (* ---------- Auto's kill-and-fallback ---------- *)
@@ -196,34 +215,40 @@ and run_auto cat t =
   match Nra_stats.Cost.estimates cat t with
   | exception _ -> run_analyzed Nra_optimized cat t
   | [] -> run_analyzed Nra_optimized cat t
-  | best :: _ -> (
-      let pick = of_cost_strategy best.Nra_stats.Cost.strategy in
-      if pick = Nra_optimized then
-        (* the chosen plan IS the fallback: a derived budget would only
-           kill a query that has nowhere left to degrade to *)
+  | es -> run_auto_estimates cat t es
+
+(* The attempt/fallback protocol over an already-computed estimate list
+   — shared with [run_prepared], whose plan cache pays for estimation
+   once and replays it here on every execution. *)
+and run_auto_estimates cat t es =
+  let best = budget_pick es in
+  let pick = of_cost_strategy best.Nra_stats.Cost.strategy in
+  if pick = Nra_optimized then
+    (* the chosen plan IS the fallback: a derived budget would only
+       kill a query that has nowhere left to degrade to *)
+    run_analyzed Nra_optimized cat t
+  else
+    let attempt =
+      Guard.min_budget (Guard.remaining ())
+        (Guard.budget
+           ~sim_io_ms:(auto_attempt_ms best.Nra_stats.Cost.cost_ms)
+           ())
+    in
+    let cp = Nra_storage.Iosim.checkpoint () in
+    match
+      Guard.with_budget attempt (fun () -> run_analyzed pick cat t)
+    with
+    | rel -> rel
+    | exception Guard.Killed (Guard.Budget_exceeded _) ->
+        (* un-charge the aborted attempt: the fallback redoes the
+           work, and double-charging would poison both the client's
+           budget and any [--time] report *)
+        Nra_storage.Iosim.rollback cp;
+        (* if the CLIENT's budget (not the derived one) is what
+           blew, degrading cannot help — re-raise for the facade *)
+        Guard.recheck ();
+        Guard.note_fallback ();
         run_analyzed Nra_optimized cat t
-      else
-        let attempt =
-          Guard.min_budget (Guard.remaining ())
-            (Guard.budget
-               ~sim_io_ms:(auto_attempt_ms best.Nra_stats.Cost.cost_ms)
-               ())
-        in
-        let cp = Nra_storage.Iosim.checkpoint () in
-        match
-          Guard.with_budget attempt (fun () -> run_analyzed pick cat t)
-        with
-        | rel -> rel
-        | exception Guard.Killed (Guard.Budget_exceeded _) ->
-            (* un-charge the aborted attempt: the fallback redoes the
-               work, and double-charging would poison both the client's
-               budget and any [--time] report *)
-            Nra_storage.Iosim.rollback cp;
-            (* if the CLIENT's budget (not the derived one) is what
-               blew, degrading cannot help — re-raise for the facade *)
-            Guard.recheck ();
-            Guard.note_fallback ();
-            run_analyzed Nra_optimized cat t)
 
 let ( let* ) = Result.bind
 module Ast = Nra_sql.Ast
@@ -580,6 +605,69 @@ let run ?(strategy = Nra_optimized) ?guard cat sql =
   let* cmd = parse_command sql in
   with_guard guard (fun () -> run_command strategy cat cmd)
 
+(* ---------- prepared statements ---------- *)
+
+(* The compile-once-execute-many contract behind the nra.server plan
+   cache: [prepare] pays for parse + analysis + (for Auto) cost
+   estimation once; [run_prepared] replays only execution.  Non-SELECT
+   shapes (set operations, WITH, DML) keep their parsed command — still
+   skipping the lexer/parser — and take the ordinary paths, which
+   analyze per component. *)
+type prepared = {
+  p_sql : string;
+  p_cmd : Ast.command;
+  p_strategy : strategy;
+  p_analyzed : Nra_planner.Analyze.t option;
+  p_estimates : Nra_stats.Cost.estimate list;
+      (* Auto over a plain SELECT only; [] otherwise *)
+}
+
+let prepared_sql p = p.p_sql
+let prepared_strategy p = p.p_strategy
+
+let prepared_is_query p =
+  match p.p_cmd with Ast.Cmd_query _ -> true | _ -> false
+
+let prepare ?(strategy = Nra_optimized) cat sql =
+  let* cmd = parse_command sql in
+  match cmd with
+  | Ast.Cmd_query (Ast.Select q) ->
+      trap (fun () ->
+          let t = Nra_planner.Analyze.analyze cat q in
+          let est =
+            if strategy = Auto then
+              try Nra_stats.Cost.estimates cat t with _ -> []
+            else []
+          in
+          Ok
+            {
+              p_sql = sql;
+              p_cmd = cmd;
+              p_strategy = strategy;
+              p_analyzed = Some t;
+              p_estimates = est;
+            })
+  | _ ->
+      Ok
+        {
+          p_sql = sql;
+          p_cmd = cmd;
+          p_strategy = strategy;
+          p_analyzed = None;
+          p_estimates = [];
+        }
+
+let run_prepared ?guard cat p =
+  with_guard guard (fun () ->
+      match (p.p_cmd, p.p_analyzed) with
+      | Ast.Cmd_query (Ast.Select _), Some t ->
+          trap (fun () ->
+              match p.p_strategy with
+              | Auto when p.p_estimates <> [] ->
+                  Ok (Rows (run_auto_estimates cat t p.p_estimates))
+              | s -> Ok (Rows (run_analyzed s cat t)))
+      | _ -> run_command p.p_strategy cat p.p_cmd)
+
 let exec ?strategy ?guard cat sql =
   Result.map_error Exec_error.to_string (run ?strategy ?guard cat sql)
 
@@ -602,6 +690,13 @@ let query_exn ?strategy cat sql =
   match query ?strategy cat sql with
   | Ok rel -> rel
   | Error m -> failwith m
+
+(* Higher layers (nra.server's plan cache) register a one-line status
+   note here; EXPLAIN COSTS appends it after the guard events so cache
+   hit/miss/invalidation counters surface without this library
+   depending on the serving layer. *)
+let explain_note : (unit -> string option) ref = ref (fun () -> None)
+let set_explain_note f = explain_note := f
 
 let explain cat sql =
   match Nra_planner.Analyze.analyze_string cat sql with
@@ -654,12 +749,17 @@ let explain_costs cat sql =
                   (strategy_to_string Nra_optimized)
         in
         let ev = Guard.events () in
+        let note =
+          match !explain_note () with
+          | Some line -> "\n" ^ line
+          | None -> ""
+        in
         Ok
           (Printf.sprintf
              "%s\n%sguard events (session): %d budget kill(s), %d \
-              cancellation(s), %d auto fallback(s)"
+              cancellation(s), %d auto fallback(s)%s"
              report auto_line ev.Guard.budget_kills ev.Guard.cancellations
-             ev.Guard.auto_fallbacks)
+             ev.Guard.auto_fallbacks note)
       with e -> Error (Printexc.to_string e))
 
 let auto_choice cat sql =

@@ -113,6 +113,13 @@ module Exec_error : sig
     | Unsupported of string
         (** the chosen strategy cannot run this (well-formed) query *)
     | Runtime of string  (** any other evaluator failure *)
+    | Rejected of string
+        (** refused before execution by the serving layer's admission
+            controller: the wait queue was full, or the session was
+            closed (see [nra.server]) *)
+    | Queue_timeout of { waited_ms : float }
+        (** admitted to the wait queue but no execution slot freed
+            within the queue timeout *)
 
   val to_string : t -> string
 end
@@ -193,6 +200,47 @@ val run :
 (** {!exec} with structured errors — the taxonomy of {!Exec_error}
     instead of rendered strings. *)
 
+(** {1 Prepared statements} *)
+
+type prepared
+(** A statement carried past its per-execution costs: parsed, and — for
+    a plain SELECT — analyzed into the block tree, with [Auto]'s cost
+    estimation already paid.  The [nra.server] plan cache stores these
+    keyed on (normalized text, strategy, catalog + statistics
+    generation), so repeated statements skip parse/plan/estimate. *)
+
+val prepare :
+  ?strategy:strategy ->
+  Catalog.t ->
+  string ->
+  (prepared, Exec_error.t) result
+(** Parse [sql]; analyze it when it is a plain SELECT; when [strategy]
+    is [Auto], additionally price every strategy once.  Set operations,
+    WITH and DML prepare to their parsed command only (execution
+    analyzes per component, as {!run} does). *)
+
+val run_prepared :
+  ?guard:Guard.budget ->
+  Catalog.t ->
+  prepared ->
+  (exec_result, Exec_error.t) result
+(** Execute without re-parsing, re-analyzing or re-estimating.  An
+    [Auto] preparation replays its stored estimates through the same
+    budget-aware pick and kill-and-fallback protocol as {!run}; the
+    pick still consults [Guard.remaining ()] at {e execution} time, so
+    a cached plan adapts to the caller's current budget.  The caller is
+    responsible for staleness: a prepared statement must not outlive a
+    change to its catalog or statistics (the plan cache enforces this
+    with generation checks). *)
+
+val prepared_sql : prepared -> string
+val prepared_strategy : prepared -> strategy
+
+val prepared_is_query : prepared -> bool
+(** [true] for SELECT / set-operation statements — the only ones the
+    plan cache retains (DDL and DML are cheap to parse and mutate the
+    very generations the cache is keyed on). *)
+
 (** {1 Auto degradation knobs} *)
 
 val set_auto_guard : ?overrun:float -> ?floor_ms:float -> unit -> unit
@@ -220,6 +268,15 @@ val explain_costs : Catalog.t -> string -> (string, string) result
     (cheapest first) and the strategy [Auto] would run.  See
     {!Stats.Cost.report}. *)
 
+val set_explain_note : (unit -> string option) -> unit
+(** Register a one-line status source appended to {!explain_costs}
+    after the guard events.  The serving layer uses this to surface
+    plan-cache hit/miss/invalidation counters without this library
+    depending on it. *)
+
 val auto_choice : Catalog.t -> string -> (strategy, string) result
 (** The strategy [Auto] would run for this query — exposed so
-    benchmarks and tests can record the choice without re-estimating. *)
+    benchmarks and tests can record the choice without re-estimating.
+    Under an active {!Guard} budget the choice is budget-aware: the
+    cheapest plan whose estimate {e fits} [Guard.remaining ()] wins
+    over the globally cheapest (see {!Stats.Cost.pick}). *)

@@ -134,10 +134,27 @@ let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
 
 let is_positive_link = A.is_positive
 
+(* Allocation-pressure injection fires where a real row-budget
+   exhaustion would: as an intermediate materializes under a finite row
+   budget.  (A budget of [max_int] rows is effectively unlimited —
+   benchmarks use it to measure pure checkpoint overhead — so it cannot
+   "exhaust".)  The kill is the guard's own, so the unwind, the
+   structured error, and Auto's fallback protocol are identical to the
+   organic case. *)
+let inject_alloc_pressure () =
+  match Nra_guard.Guard.active () with
+  | Some { Nra_guard.Guard.max_rows = Some m; _ }
+    when m < max_int && Nra_storage.Fault.alloc_should_fail () ->
+      raise
+        (Nra_guard.Guard.Killed
+           (Nra_guard.Guard.Budget_exceeded Nra_guard.Guard.Rows))
+  | _ -> ()
+
 let record_intermediate st rel =
   let n = Relation.cardinality rel in
   st.total_intermediate_rows <- st.total_intermediate_rows + n;
   if n > st.peak_intermediate_rows then st.peak_intermediate_rows <- n;
+  inject_alloc_pressure ();
   Nra_guard.Guard.add_rows n;
   (* the stored-procedure setting of the paper's Section 5.1 pays a
      per-tuple cost to fetch the intermediate result from the engine *)

@@ -156,6 +156,14 @@ let add_rows n =
           raise (Killed (Budget_exceeded Rows))
       | _ -> ())
 
+(* ---------- spend accounting ---------- *)
+
+type spend = { wall_ms : float; sim_io_ms : float; rows : int }
+
+let zero_spend = { wall_ms = 0.0; sim_io_ms = 0.0; rows = 0 }
+let last = ref zero_spend
+let last_spend () = !last
+
 let with_budget b f =
   let saved = !current in
   let s = install b in
@@ -163,6 +171,12 @@ let with_budget b f =
   Fun.protect
     ~finally:(fun () ->
       current := saved;
+      last :=
+        {
+          wall_ms = (Unix.gettimeofday () -. s.wall_start) *. 1000.0;
+          sim_io_ms = io_now_ms () -. s.io_start_ms;
+          rows = s.rows;
+        };
       (* rows materialized inside also count against the enclosing
          budget (without re-raising during unwind: the next enclosing
          add_rows/tick surfaces the overrun) *)

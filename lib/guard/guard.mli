@@ -85,6 +85,18 @@ val with_budget : budget -> (unit -> 'a) -> 'a
 val active : unit -> budget option
 (** The installed budget, if any. *)
 
+type spend = { wall_ms : float; sim_io_ms : float; rows : int }
+(** What one {!with_budget} scope actually consumed. *)
+
+val last_spend : unit -> spend
+(** The spend of the most recently exited {!with_budget} scope —
+    including one that exited by a {!Killed} unwind.  Nested scopes
+    overwrite it as they exit, outermost last, so a caller that installed
+    a budget reads its own statement's consumption immediately after
+    [with_budget] returns.  The session layer ([nra.server]) uses this to
+    spend a statement's cost down against its session's aggregate
+    budget.  Zero before any budget has been installed. *)
+
 val remaining : unit -> budget
 (** What is left of the active budget right now ([unlimited] when none
     is installed); limits are clamped at 0.  Carries the active cancel

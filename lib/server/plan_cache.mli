@@ -1,0 +1,65 @@
+(** A generation-checked plan cache over {!Nra.prepared} statements.
+
+    Entries are keyed on (normalized statement text, strategy) and
+    stamped with the catalog's global generation
+    ([Catalog.global_generation]) and the statistics epoch
+    ([Stats_store.epoch_for]) at preparation time.  A lookup whose
+    stamps no longer match discards the entry and re-prepares: any DML
+    or DDL bumps the catalog generation, any [ANALYZE] bumps the stats
+    epoch, so a cached plan can never be replayed against a world it
+    was not priced for.
+
+    Normalization collapses whitespace and case {e outside} quoted
+    literals, so ["SELECT * FROM emp"] and ["select *  from emp"] share
+    an entry while ["… where name = 'Ann'"] and ["… = 'ANN'"] do not.
+
+    Only queries are cached ({!Nra.prepared_is_query}); DML/DDL pass
+    through uncached — caching them would be self-defeating, since they
+    invalidate the generation they would be keyed on.
+
+    Eviction is LRU with a fixed capacity.  Counters (hits, misses,
+    invalidations, evictions) feed [explain --costs] via
+    {!Nra.set_explain_note} and the bench report. *)
+
+type t
+
+val create : ?capacity:int -> Nra.Catalog.t -> t
+(** A cache bound to one catalog (and its statistics store, via the
+    epoch registry).  [capacity] defaults to 128 and is clamped to
+    [>= 1]. *)
+
+val normalize : string -> string
+(** The cache key's text component: lowercased, whitespace-collapsed,
+    with single-quoted literals preserved byte-for-byte. *)
+
+val find_or_prepare :
+  t ->
+  strategy:Nra.strategy ->
+  string ->
+  (Nra.prepared, Nra.Exec_error.t) result
+(** The cached plan when its generation stamps are current (a {e hit});
+    otherwise prepare, cache (queries only, when preparation succeeds),
+    and return (a {e miss}, additionally an {e invalidation} when a
+    stale entry was displaced).  Preparation failures are not cached. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** entries discarded on generation mismatch *)
+  evictions : int;  (** entries displaced by LRU capacity pressure *)
+  entries : int;  (** current size *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], or [0.] before any lookup. *)
+
+val clear : t -> unit
+(** Drop every entry (counters are kept). *)
+
+val note : unit -> string option
+(** The [explain --costs] status line aggregated over every cache
+    created so far, or [None] when no lookups have happened — wired
+    into the core facade via {!Nra.set_explain_note}. *)

@@ -1,0 +1,239 @@
+module Guard = Nra_guard.Guard
+
+type config = {
+  admission : Admission.config;
+  cache_capacity : int;
+  session_wall_ms : float option;
+  session_sim_io_ms : float option;
+  session_rows : int option;
+  strategy : Nra.strategy;
+}
+
+let default_config =
+  {
+    admission = Admission.default_config;
+    cache_capacity = 128;
+    session_wall_ms = None;
+    session_sim_io_ms = None;
+    session_rows = None;
+    strategy = Nra.Auto;
+  }
+
+type outcome = {
+  session_id : int;
+  sql : string;
+  submitted_at : float;
+  started_at : float option;
+  finished_at : float;
+  result : (Nra.exec_result, Nra.Exec_error.t) result;
+}
+
+let latency_ms o = o.finished_at -. o.submitted_at
+
+(* What a queued statement needs to run later. *)
+type pending = {
+  pd_session : Session.t;
+  pd_sql : string;
+  pd_guard : Guard.budget option;
+  pd_submitted : float;
+}
+
+type t = {
+  cat : Nra.Catalog.t;
+  cfg : config;
+  pc : Plan_cache.t;
+  adm : pending Admission.t;
+  mutable clock : float;
+  mutable inflight : float list;  (* virtual completion times of slot holders *)
+  mutable completed : outcome list;  (* newest first; reversed by [drain] *)
+}
+
+let hook_registered = ref false
+
+let create ?(config = default_config) cat =
+  if not !hook_registered then begin
+    Nra.set_explain_note Plan_cache.note;
+    hook_registered := true
+  end;
+  {
+    cat;
+    cfg = config;
+    pc = Plan_cache.create ~capacity:config.cache_capacity cat;
+    adm = Admission.create config.admission;
+    clock = 0.0;
+    inflight = [];
+    completed = [];
+  }
+
+let catalog t = t.cat
+let config t = t.cfg
+let cache t = t.pc
+let now t = t.clock
+let admission_stats t = Admission.stats t.adm
+
+let session t ?label ?wall_ms ?sim_io_ms ?rows () =
+  let pick o dflt = match o with Some _ -> o | None -> dflt in
+  Session.create ?label
+    ?wall_ms:(pick wall_ms t.cfg.session_wall_ms)
+    ?sim_io_ms:(pick sim_io_ms t.cfg.session_sim_io_ms)
+    ?rows:(pick rows t.cfg.session_rows)
+    ()
+
+(* Execute one statement whose slot starts at [start].  Host-synchronous;
+   its virtual duration is the simulated I/O it consumed. *)
+let run_pending t p ~start =
+  let guard =
+    let base = Session.remaining p.pd_session in
+    match p.pd_guard with
+    | None -> base
+    (* override first: its cancel token (the REPL's SIGINT token)
+       governs the statement; limits are element-wise min either way *)
+    | Some g -> Guard.min_budget g base
+  in
+  let result, spend =
+    match Plan_cache.find_or_prepare t.pc ~strategy:t.cfg.strategy p.pd_sql with
+    | Error _ as e -> (e, { Guard.wall_ms = 0.0; sim_io_ms = 0.0; rows = 0 })
+    | Ok prep ->
+        let r = Nra.run_prepared ~guard t.cat prep in
+        (r, Guard.last_spend ())
+  in
+  Session.charge p.pd_session spend;
+  let done_at = start +. spend.Guard.sim_io_ms in
+  t.inflight <- done_at :: t.inflight;
+  {
+    session_id = Session.id p.pd_session;
+    sql = p.pd_sql;
+    submitted_at = p.pd_submitted;
+    started_at = Some start;
+    finished_at = done_at;
+    result;
+  }
+
+let timeout_outcome (w : pending Admission.waiter) =
+  {
+    session_id = Session.id w.payload.pd_session;
+    sql = w.payload.pd_sql;
+    submitted_at = w.payload.pd_submitted;
+    started_at = None;
+    finished_at = w.at;
+    result =
+      Error (Nra.Exec_error.Queue_timeout { waited_ms = w.at -. w.enqueued_at });
+  }
+
+let complete t o = t.completed <- o :: t.completed
+
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_one x rest
+
+(* Retire every in-flight statement completing by [upto], oldest first.
+   Each retirement frees a slot, which may time out stale waiters and
+   promote (and run) the head waiter — whose own completion re-enters
+   the in-flight set and is retired in turn if it also falls by [upto]. *)
+let rec retire_until t ~upto =
+  match t.inflight with
+  | [] -> ()
+  | l ->
+      let m = List.fold_left Float.min infinity l in
+      if m > upto then ()
+      else begin
+        t.inflight <- remove_one m l;
+        let expired, promoted = Admission.release t.adm ~now:m in
+        List.iter (fun w -> complete t (timeout_outcome w)) expired;
+        (match promoted with
+        | Some (w : pending Admission.waiter) ->
+            complete t (run_pending t w.payload ~start:w.at)
+        | None -> ());
+        retire_until t ~upto
+      end
+
+let rejected session sql ~at msg =
+  {
+    session_id = Session.id session;
+    sql;
+    submitted_at = at;
+    started_at = None;
+    finished_at = at;
+    result = Error (Nra.Exec_error.Rejected msg);
+  }
+
+let submit t ?at ?guard session sql =
+  let at =
+    match at with None -> t.clock | Some a -> Float.max a t.clock
+  in
+  t.clock <- at;
+  retire_until t ~upto:at;
+  List.iter
+    (fun w -> complete t (timeout_outcome w))
+    (Admission.expire t.adm ~now:at);
+  if Session.closed session then
+    `Done (rejected session sql ~at "session closed")
+  else
+    let p =
+      { pd_session = session; pd_sql = sql; pd_guard = guard;
+        pd_submitted = at }
+    in
+    match Admission.submit t.adm ~now:at p with
+    | `Admitted -> `Done (run_pending t p ~start:at)
+    | `Queued -> `Queued
+    | `Rejected_full -> `Done (rejected session sql ~at "admission queue full")
+
+let drain t =
+  let l = List.rev t.completed in
+  t.completed <- [];
+  l
+
+let rec finish t =
+  match t.inflight with
+  | [] ->
+      (* no slot holder left; anything still queued can only time out *)
+      List.iter
+        (fun w -> complete t (timeout_outcome w))
+        (Admission.expire t.adm ~now:infinity);
+      drain t
+  | l ->
+      let m = List.fold_left Float.min infinity l in
+      t.clock <- Float.max t.clock m;
+      retire_until t ~upto:m;
+      finish t
+
+(* Advance time until everything in flight has retired: a serial client
+   issues its next statement after the previous one completed. *)
+let rec await_idle t =
+  match t.inflight with
+  | [] -> ()
+  | l ->
+      let m = List.fold_left Float.min infinity l in
+      t.clock <- Float.max t.clock m;
+      retire_until t ~upto:m;
+      await_idle t
+
+let exec t ?guard session sql =
+  await_idle t;
+  match submit t ?guard session sql with
+  | `Done o -> o.result
+  | `Queued ->
+      (* a free slot was just ensured, so admission cannot queue us *)
+      assert false
+
+let close_session t s =
+  let flushed =
+    Admission.cancel t.adm (fun p -> Session.id p.pd_session = Session.id s)
+  in
+  List.iter
+    (fun p ->
+      complete t
+        {
+          session_id = Session.id p.pd_session;
+          sql = p.pd_sql;
+          submitted_at = p.pd_submitted;
+          started_at = None;
+          finished_at = t.clock;
+          result = Error Nra.Exec_error.Cancelled;
+        })
+    flushed;
+  Session.close s
+
+let report t s =
+  Format.asprintf "@[<v>%a@,%a@,%a@]" Session.pp s Admission.pp_stats
+    (Admission.stats t.adm) Plan_cache.pp_stats (Plan_cache.stats t.pc)

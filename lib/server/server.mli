@@ -1,0 +1,133 @@
+(** The serving layer: sessions + admission + plan cache over one
+    catalog.
+
+    The engine is single-threaded, so the server models a concurrent
+    population of clients in {e virtual time} (see {!Admission}): every
+    submission carries an arrival time on a monotone millisecond clock,
+    an admitted statement executes host-synchronously but {e occupies
+    its slot} for its simulated-I/O duration, and queued statements run
+    when a slot frees — or time out, or are flushed by session close.
+    For a given workload the admission decisions, latencies and
+    rejections are deterministic.
+
+    The serial path ({!exec}) is what the CLI REPL uses: one client,
+    statements submitted back-to-back at the clock, so admission always
+    grants a slot and the value added is the session budget, the
+    cancellation token, and the plan cache.  The concurrent path
+    ({!submit} with explicit [~at] / {!drain} / {!finish}) is what the
+    bench workload driver uses. *)
+
+type config = {
+  admission : Admission.config;
+  cache_capacity : int;
+  session_wall_ms : float option;  (** default per-session totals … *)
+  session_sim_io_ms : float option;
+  session_rows : int option;  (** … applied by {!session} *)
+  strategy : Nra.strategy;
+}
+
+val default_config : config
+(** {!Admission.default_config}, cache of 128, unlimited sessions,
+    [Auto]. *)
+
+type t
+
+val create : ?config:config -> Nra.Catalog.t -> t
+(** Also registers the plan cache's [explain --costs] note hook
+    ({!Nra.set_explain_note}) — idempotent. *)
+
+val catalog : t -> Nra.Catalog.t
+val config : t -> config
+val cache : t -> Plan_cache.t
+val now : t -> float
+(** The virtual clock, in ms: the latest arrival or completion seen. *)
+
+val session :
+  t ->
+  ?label:string ->
+  ?wall_ms:float ->
+  ?sim_io_ms:float ->
+  ?rows:int ->
+  unit ->
+  Session.t
+(** A new session; budget totals default to the server config's
+    session defaults. *)
+
+val close_session : t -> Session.t -> unit
+(** Cancel the session's token, flush its queued statements (each
+    completes as [Error Cancelled], visible in {!drain}) and reject its
+    future submissions. *)
+
+(** {1 Statement outcomes} *)
+
+type outcome = {
+  session_id : int;
+  sql : string;
+  submitted_at : float;
+  started_at : float option;  (** [None]: never got a slot *)
+  finished_at : float;
+  result : (Nra.exec_result, Nra.Exec_error.t) result;
+}
+
+val latency_ms : outcome -> float
+(** [finished_at -. submitted_at] — queue wait plus execution. *)
+
+(** {1 The concurrent path} *)
+
+val submit :
+  t ->
+  ?at:float ->
+  ?guard:Nra.Guard.budget ->
+  Session.t ->
+  string ->
+  [ `Done of outcome | `Queued ]
+(** One statement arriving at [at] (default: the current clock; the
+    clock never goes backwards, a stale [at] is clamped forward).
+    Retires every in-flight statement that completes by [at] first —
+    which promotes and {e runs} queued waiters, and expires queue
+    timeouts, accumulating their outcomes for {!drain}.  Then:
+
+    - closed session: [`Done] with [Error (Rejected _)];
+    - slot free: runs now under
+      [Guard.min_budget (Session.remaining session) guard], charges the
+      session ({!Session.charge}), and occupies the slot for the
+      statement's simulated-I/O duration — [`Done outcome];
+    - queue has room: [`Queued] (outcome arrives via {!drain});
+    - otherwise: [`Done] with [Error (Rejected "admission queue full")].
+
+    Queries go through the plan cache; per-statement [guard] only ever
+    tightens the session allowance (limits merge element-wise min).
+    When [guard] carries a cancel token it governs the statement in
+    place of the session token — the REPL scopes its SIGINT token this
+    way; a closed session is still rejected up front either way. *)
+
+val drain : t -> outcome list
+(** The outcomes accumulated since the last drain — queued statements
+    that ran on promotion, queue timeouts ([Error (Queue_timeout _)]
+    stamped at the missed deadline), and cancellations from session
+    close — in completion order. *)
+
+val finish : t -> outcome list
+(** Advance the clock until nothing is in flight or queued (every
+    waiter is promoted and run, or times out), then drain. *)
+
+(** {1 The serial path} *)
+
+val exec :
+  t ->
+  ?guard:Nra.Guard.budget ->
+  Session.t ->
+  string ->
+  (Nra.exec_result, Nra.Exec_error.t) result
+(** {!submit} with the result awaited: every in-flight statement is
+    retired first (the serial client issues its next statement after
+    the previous completed), so the caller always gets a slot and a
+    direct result. *)
+
+(** {1 Reports} *)
+
+val admission_stats : t -> Admission.stats
+
+val report : t -> Session.t -> string
+(** The [\session] REPL report: the session ({!Session.pp}), the
+    admission counters and the plan-cache counters. *)

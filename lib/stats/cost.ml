@@ -267,6 +267,28 @@ let estimates cat t =
 
 let choose cat t = (List.hd (estimates cat t)).strategy
 
+(* ---------- budget-aware selection ---------- *)
+
+(* [fetched_rows] doubles as the intermediate-row proxy: the NRA
+   estimators charge it per wide-intermediate tuple, mirroring the
+   executor's [record_intermediate] (which charges the guard's row
+   budget and the fetch cost from the same count). *)
+let fits ~remaining_io_ms ~remaining_rows e =
+  (match remaining_io_ms with
+  | Some limit -> e.cost_ms <= limit
+  | None -> true)
+  &&
+  match remaining_rows with
+  | Some limit -> e.breakdown.fetched_rows <= float_of_int limit
+  | None -> true
+
+let pick ~remaining_io_ms ~remaining_rows = function
+  | [] -> invalid_arg "Cost.pick: no estimates"
+  | cheapest :: _ as es -> (
+      match List.find_opt (fits ~remaining_io_ms ~remaining_rows) es with
+      | Some e -> e
+      | None -> cheapest)
+
 let analyzed_tables cat (t : A.t) =
   List.sort_uniq String.compare
     (List.map (fun (_, bd) -> bd.A.source) t.A.by_uid)

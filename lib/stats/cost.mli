@@ -58,6 +58,26 @@ val estimates : Catalog.t -> Analyze.t -> estimate list
 val choose : Catalog.t -> Analyze.t -> strategy
 (** The head of {!estimates}. *)
 
+val fits :
+  remaining_io_ms:float option -> remaining_rows:int option ->
+  estimate -> bool
+(** Does this plan's estimate fit inside what is left of the caller's
+    budget?  [cost_ms] is checked against the remaining simulated-I/O
+    allowance and [breakdown.fetched_rows] — which the NRA estimators
+    charge per wide-intermediate tuple, mirroring the executor's row
+    accounting — against the remaining row allowance. *)
+
+val pick :
+  remaining_io_ms:float option -> remaining_rows:int option ->
+  estimate list -> estimate
+(** Budget-aware choice over a cheapest-first estimate list: the
+    cheapest estimate that {!fits}, or the globally cheapest when none
+    does (a doomed query should still take its cheapest path to the
+    kill).  This is how a caller's [Guard.remaining ()] steers Auto: a
+    tight row budget flips the choice away from intermediate-heavy
+    plans toward scan-shaped ones even when the latter price higher.
+    @raise Invalid_argument on an empty list. *)
+
 val report : Catalog.t -> Analyze.t -> string
 (** The EXPLAIN COSTS table: per-strategy breakdowns and the choice,
     with a note when some table lacks fresh statistics. *)

@@ -1,8 +1,13 @@
 open Nra_storage
 
-type t = (string, Table_stats.t) Hashtbl.t
+(* [epoch] counts ANALYZE runs against this store: plan caches key on
+   it so a statement planned before statistics were (re)collected is
+   re-estimated afterwards. *)
+type t = { tbl : (string, Table_stats.t) Hashtbl.t; mutable epoch : int }
 
-let create () : t = Hashtbl.create 16
+let create () : t = { tbl = Hashtbl.create 16; epoch = 0 }
+
+let epoch t = t.epoch
 
 let analyze ?buckets cat (t : t) name =
   let table = Catalog.table cat name in
@@ -10,7 +15,8 @@ let analyze ?buckets cat (t : t) name =
     Table_stats.collect ?buckets ~generation:(Catalog.generation cat name)
       table
   in
-  Hashtbl.replace t name ts;
+  t.epoch <- t.epoch + 1;
+  Hashtbl.replace t.tbl name ts;
   ts
 
 let analyze_all ?buckets cat t =
@@ -19,13 +25,13 @@ let analyze_all ?buckets cat t =
     (Catalog.tables cat)
 
 let find cat (t : t) name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | Some ts when ts.Table_stats.generation = Catalog.generation cat name ->
       Some ts
   | _ -> None
 
 let tables (t : t) =
-  Hashtbl.fold (fun _ ts acc -> ts :: acc) t []
+  Hashtbl.fold (fun _ ts acc -> ts :: acc) t.tbl []
   |> List.sort (fun a b ->
          String.compare a.Table_stats.table b.Table_stats.table)
 
@@ -46,6 +52,9 @@ let of_catalog cat =
 
 let find_for cat name =
   match find_store cat with None -> None | Some s -> find cat s name
+
+let epoch_for cat =
+  match find_store cat with None -> 0 | Some s -> s.epoch
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@]"

@@ -26,6 +26,11 @@ val find : Catalog.t -> t -> string -> Table_stats.t option
 
 val tables : t -> Table_stats.t list
 
+val epoch : t -> int
+(** Monotonic count of ANALYZE runs recorded in this store.  Plan
+    caches include it in their keys: a statement planned before
+    statistics changed must be re-estimated after. *)
+
 (** {1 The global per-catalog association} *)
 
 val of_catalog : Catalog.t -> t
@@ -34,5 +39,9 @@ val of_catalog : Catalog.t -> t
 val find_for : Catalog.t -> string -> Table_stats.t option
 (** [find] through the global association, allocating nothing when the
     catalog was never ANALYZEd. *)
+
+val epoch_for : Catalog.t -> int
+(** {!epoch} through the global association; 0 when the catalog was
+    never ANALYZEd. *)
 
 val pp : Format.formatter -> t -> unit

@@ -7,9 +7,14 @@ type indexes = {
 }
 
 type entry = { table : Table.t; idx : indexes; gen : int }
-type t = (string, entry) Hashtbl.t
 
-let create () = Hashtbl.create 16
+(* [gen] is the catalog-wide content version: bumped on every register,
+   DML row replacement, and drop.  Consumers that cache whole-query
+   derived data (the nra.server plan cache) compare it instead of
+   tracking every table they touched. *)
+type t = { tbl : (string, entry) Hashtbl.t; mutable gen : int }
+
+let create () = { tbl = Hashtbl.create 16; gen = 0 }
 
 let positions_of table cols =
   let schema = Table.schema table in
@@ -26,20 +31,21 @@ let positions_of table cols =
 
 let register t table =
   let name = Table.name table in
+  t.gen <- t.gen + 1;
   let idx = { hash = []; sorted = [] } in
   let key_cols = Table.key_columns table in
   idx.hash <-
     [ (key_cols, Hash_index.build (Table.relation table)
                    (Table.key_positions table)) ];
   let gen =
-    match Hashtbl.find_opt t name with Some e -> e.gen + 1 | None -> 0
+    match Hashtbl.find_opt t.tbl name with Some e -> e.gen + 1 | None -> 0
   in
-  Hashtbl.replace t name { table; idx; gen }
+  Hashtbl.replace t.tbl name { table; idx; gen }
 
 (* exposed below, used by DML *)
 
 let entry t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | Some e -> e
   | None -> raise Not_found
 
@@ -73,21 +79,25 @@ let update_rows t name rows =
       (fun (cols, _) -> (cols, Sorted_index.build rel (positions_of table cols)))
       e.idx.sorted
   in
-  Hashtbl.replace t name { table; idx = { hash; sorted }; gen = e.gen + 1 }
+  t.gen <- t.gen + 1;
+  Hashtbl.replace t.tbl name { table; idx = { hash; sorted }; gen = e.gen + 1 }
 
 let drop_table t name =
-  if not (Hashtbl.mem t name) then raise Not_found;
-  Hashtbl.remove t name
+  if not (Hashtbl.mem t.tbl name) then raise Not_found;
+  t.gen <- t.gen + 1;
+  Hashtbl.remove t.tbl name
 
 let generation t name =
-  match Hashtbl.find_opt t name with Some e -> e.gen | None -> -1
+  match Hashtbl.find_opt t.tbl name with Some e -> e.gen | None -> -1
+
+let global_generation t = t.gen
 
 let table t name = (entry t name).table
-let table_opt t name = Option.map (fun e -> e.table) (Hashtbl.find_opt t name)
-let mem t name = Hashtbl.mem t name
+let table_opt t name = Option.map (fun e -> e.table) (Hashtbl.find_opt t.tbl name)
+let mem t name = Hashtbl.mem t.tbl name
 
 let tables t =
-  Hashtbl.fold (fun _ e acc -> e.table :: acc) t []
+  Hashtbl.fold (fun _ e acc -> e.table :: acc) t.tbl []
   |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
 
 let create_hash_index t ~table:name cols =
@@ -110,14 +120,14 @@ let same_set a b =
   List.sort String.compare a = List.sort String.compare b
 
 let hash_index t ~table:name cols =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | None -> None
   | Some e ->
       List.find_opt (fun (ic, _) -> same_set ic cols) e.idx.hash
       |> Option.map snd
 
 let hash_index_covering t ~table:name cols =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | None -> None
   | Some e ->
       let subset ic = ic <> [] && List.for_all (fun c -> List.mem c cols) ic in
@@ -130,7 +140,7 @@ let hash_index_covering t ~table:name cols =
            | (ic, i) :: _ -> Some (i, ic))
 
 let sorted_index_on t ~table:name col =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | None -> None
   | Some e ->
       List.find_opt

@@ -41,6 +41,12 @@ val generation : t -> string -> int
     derived data (e.g. [nra.stats] statistics) compare generations to
     detect staleness. *)
 
+val global_generation : t -> int
+(** Monotonic catalog-wide content version: bumped on every table
+    registration, DML row replacement, and drop.  Whole-query caches
+    (the [nra.server] plan cache) key on this instead of enumerating the
+    tables a plan touches. *)
+
 (** {1 Indexes} *)
 
 val create_hash_index : t -> table:string -> string list -> unit

@@ -5,20 +5,34 @@ type config = {
   seed : int;
   max_retries : int;
   backoff_ms : float;
+  alloc_probability : float;
 }
 
 let default_config =
-  { probability = 0.0; seed = 0; max_retries = 6; backoff_ms = 0.05 }
+  {
+    probability = 0.0;
+    seed = 0;
+    max_retries = 6;
+    backoff_ms = 0.05;
+    alloc_probability = 0.0;
+  }
 
 type stats = {
   injected : int;
   retried : int;
   escaped : int;
   backoff_ms_total : float;
+  alloc_injected : int;
 }
 
 let zero_stats =
-  { injected = 0; retried = 0; escaped = 0; backoff_ms_total = 0.0 }
+  {
+    injected = 0;
+    retried = 0;
+    escaped = 0;
+    backoff_ms_total = 0.0;
+    alloc_injected = 0;
+  }
 
 let current = ref default_config
 let st = ref zero_stats
@@ -41,22 +55,28 @@ let draw () =
   /. 9007199254740992.0
 
 let config () = !current
-let enabled () = !current.probability > 0.0
 
-let configure ?seed ?max_retries ?backoff_ms probability =
+let enabled () =
+  !current.probability > 0.0 || !current.alloc_probability > 0.0
+
+let configure ?seed ?max_retries ?backoff_ms ?alloc_probability probability =
   let c = !current in
   let seed = Option.value seed ~default:c.seed in
+  let clamp p = Float.max 0.0 (Float.min 1.0 p) in
   current :=
     {
-      probability = Float.max 0.0 (Float.min 1.0 probability);
+      probability = clamp probability;
       seed;
       max_retries = Option.value max_retries ~default:c.max_retries;
       backoff_ms = Option.value backoff_ms ~default:c.backoff_ms;
+      alloc_probability =
+        clamp (Option.value alloc_probability ~default:c.alloc_probability);
     };
   prng_state := Int64.of_int seed;
   st := zero_stats
 
-let disable () = current := { !current with probability = 0.0 }
+let disable () =
+  current := { !current with probability = 0.0; alloc_probability = 0.0 }
 
 let stats () = !st
 let reset_stats () = st := zero_stats
@@ -67,6 +87,28 @@ let inject site =
     st := { !st with injected = !st.injected + 1 };
     raise (Io_fault site)
   end
+
+(* Allocation pressure: a seeded decision that the active row budget
+   just exhausted.  This module cannot see (or depend on) the guard, so
+   it only answers the question; the caller — an evaluator about to
+   materialize an intermediate — raises the actual
+   [Guard.Killed (Budget_exceeded Rows)], making the unwind
+   byte-for-byte the one a real exhaustion takes. *)
+let alloc_should_fail () =
+  let c = !current in
+  c.alloc_probability > 0.0
+  && draw () < c.alloc_probability
+  && begin
+       st := { !st with alloc_injected = !st.alloc_injected + 1 };
+       true
+     end
+
+(* The backoff sleeper is pluggable: a server scheduler substitutes a
+   yield (or a virtual-clock advance) so retries never block the
+   process; tests substitute a recorder and run without real sleeps. *)
+let default_sleeper ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+let sleeper = ref default_sleeper
+let set_sleeper f = sleeper := f
 
 let with_retries f =
   let c = !current in
@@ -85,14 +127,16 @@ let with_retries f =
             retried = !st.retried + 1;
             backoff_ms_total = !st.backoff_ms_total +. pause;
           };
-        if pause > 0.0 then Unix.sleepf (pause /. 1000.0);
+        !sleeper pause;
         go (attempt + 1)
       end
   in
   go 0
 
 (* CI enables injection for a whole `dune runtest` via the environment:
-   NRA_FAULT_INJECT="p", "p:seed", or "p:seed:retries" *)
+   NRA_FAULT_INJECT="p", "p:seed", "p:seed:retries", or
+   "p:seed:retries:palloc" (the last field adds allocation-pressure
+   faults — row-budget exhaustion under any finite row budget) *)
 let () =
   match Sys.getenv_opt "NRA_FAULT_INJECT" with
   | None -> ()
@@ -106,7 +150,7 @@ let () =
           match (float_of_string_opt p, int_of_string_opt seed) with
           | Some p, Some seed -> configure ~seed p
           | _ -> ())
-      | p :: seed :: retries :: _ -> (
+      | [ p; seed; retries ] -> (
           match
             ( float_of_string_opt p,
               int_of_string_opt seed,
@@ -114,5 +158,15 @@ let () =
           with
           | Some p, Some seed, Some max_retries ->
               configure ~seed ~max_retries p
+          | _ -> ())
+      | p :: seed :: retries :: palloc :: _ -> (
+          match
+            ( float_of_string_opt p,
+              int_of_string_opt seed,
+              int_of_string_opt retries,
+              float_of_string_opt palloc )
+          with
+          | Some p, Some seed, Some max_retries, Some alloc_probability ->
+              configure ~seed ~max_retries ~alloc_probability p
           | _ -> ())
       | [] -> ())

@@ -18,9 +18,10 @@
 
     Like {!Iosim}, everything is global and single-threaded.
 
-    The environment variable [NRA_FAULT_INJECT] ("p", "p:seed", or
-    "p:seed:retries") configures injection at program start — this is
-    how CI runs the whole test suite under injection. *)
+    The environment variable [NRA_FAULT_INJECT] ("p", "p:seed",
+    "p:seed:retries", or "p:seed:retries:palloc" — the last field arms
+    allocation-pressure faults) configures injection at program start —
+    this is how CI runs the whole test suite under injection. *)
 
 exception Io_fault of string
 (** A (simulated) failed storage read.  The payload names the site,
@@ -31,23 +32,33 @@ type config = {
   seed : int;  (** PRNG seed; same seed + same read sequence = same faults *)
   max_retries : int;  (** attempts beyond the first in {!with_retries} *)
   backoff_ms : float;
-      (** base backoff; attempt [k] sleeps [backoff_ms * 2^k].  The
-          sleep is real (wall-clock) but defaults small enough that a
-          full test run under injection stays fast. *)
+      (** base backoff; attempt [k] sleeps [backoff_ms * 2^k] through
+          the pluggable {!set_sleeper} (real wall-clock by default, but
+          small enough that a full test run under injection stays
+          fast). *)
+  alloc_probability : float;
+      (** per-intermediate-materialization probability of an
+          allocation-pressure fault (see {!alloc_should_fail}) *)
 }
 
 val default_config : config
-(** Disabled: probability 0.0, seed 0, 6 retries, 0.05 ms backoff. *)
+(** Disabled: probabilities 0.0, seed 0, 6 retries, 0.05 ms backoff. *)
 
 val config : unit -> config
 
 val configure :
-  ?seed:int -> ?max_retries:int -> ?backoff_ms:float -> float -> unit
+  ?seed:int ->
+  ?max_retries:int ->
+  ?backoff_ms:float ->
+  ?alloc_probability:float ->
+  float ->
+  unit
 (** [configure p] enables injection with probability [p] (clamped to
-    [0, 1]), reseeds the PRNG, and resets {!stats}. *)
+    [0, 1]), reseeds the PRNG, and resets {!stats}.
+    [alloc_probability] additionally arms allocation-pressure faults. *)
 
 val disable : unit -> unit
-(** Probability back to 0.0; stats are kept for inspection. *)
+(** Probabilities back to 0.0; stats are kept for inspection. *)
 
 val enabled : unit -> bool
 
@@ -59,13 +70,35 @@ val inject : string -> unit
 val with_retries : (unit -> 'a) -> 'a
 (** Run the thunk, retrying up to [max_retries] extra attempts when it
     raises {!Io_fault}, sleeping an exponentially growing backoff
-    between attempts.  The final attempt's fault propagates. *)
+    between attempts (through the pluggable sleeper).  The final
+    attempt's fault propagates. *)
+
+val alloc_should_fail : unit -> bool
+(** Allocation-pressure injection: with probability
+    [alloc_probability], decide that the caller's row budget just
+    exhausted (a seeded PRNG draw, counted in {!stats}).  This module
+    cannot depend on the guard, so the {e caller} — an evaluator about
+    to materialize an intermediate under a finite row budget — raises
+    the [Guard.Killed (Budget_exceeded Rows)] itself, taking exactly
+    the unwind a real exhaustion takes.  Callers must not consult this
+    without an installed finite row budget: exhaustion of an unlimited
+    budget is meaningless. *)
+
+val set_sleeper : (float -> unit) -> unit
+(** Replace how {!with_retries} waits out a backoff (argument in
+    milliseconds).  A server scheduler substitutes a yield or a
+    virtual-clock advance so retries never block the process; tests
+    substitute a recorder and run without real sleeps. *)
+
+val default_sleeper : float -> unit
+(** The initial sleeper: a real [Unix.sleepf]. *)
 
 type stats = {
   injected : int;  (** faults raised by {!inject} *)
   retried : int;  (** attempts re-run by {!with_retries} *)
   escaped : int;  (** faults that exhausted the retry budget *)
   backoff_ms_total : float;  (** cumulative sleep *)
+  alloc_injected : int;  (** allocation-pressure faults granted *)
 }
 
 val stats : unit -> stats

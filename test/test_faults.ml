@@ -108,6 +108,71 @@ let test_dml_atomic_under_faults () =
   Alcotest.(check int) "generation untouched" gen0
     (Catalog.generation cat "emp")
 
+(* ---------- the pluggable backoff sleeper ---------- *)
+
+let test_pluggable_sleeper () =
+  let recorded = ref [] in
+  Fault.set_sleeper (fun ms -> recorded := ms :: !recorded);
+  Fun.protect
+    ~finally:(fun () -> Fault.set_sleeper Fault.default_sleeper)
+    (fun () ->
+      (* permanent faults: every retry backs off through the sleeper *)
+      with_faults ~seed:3 ~max_retries:4 ~backoff_ms:2.0 1.0 (fun () ->
+          (match Fault.with_retries (fun () -> Fault.inject "probe") with
+          | () -> Alcotest.fail "p=1.0 must escape"
+          | exception Fault.Io_fault _ -> ());
+          let st = Fault.stats () in
+          Alcotest.(check int) "retried through sleeper" 4 st.Fault.retried;
+          Alcotest.(check int) "sleeper called per retry" 4
+            (List.length !recorded);
+          (* exponential: 2, 4, 8, 16 — recorded newest first *)
+          Alcotest.(check (list (float 1e-9))) "exponential backoff"
+            [ 16.0; 8.0; 4.0; 2.0 ] !recorded;
+          Alcotest.(check (float 1e-9)) "cumulative sleep stat" 30.0
+            st.Fault.backoff_ms_total))
+
+(* ---------- allocation-pressure faults ---------- *)
+
+let test_alloc_pressure_needs_finite_budget () =
+  let cat = Test_support.emp_dept_catalog () in
+  let correlated =
+    "select ename from emp where exists (select * from project where \
+     owner_dept = emp.dept_id)"
+  in
+  Fault.configure ~alloc_probability:1.0 0.0;
+  Fun.protect ~finally:Fault.disable (fun () ->
+      (* no finite row budget installed: the gate never consults the
+         fault layer, so unbudgeted (and CI whole-suite) runs are safe *)
+      (match Nra.query cat correlated with
+      | Ok rel -> Alcotest.(check int) "unbudgeted ok" 5
+                    (Relation.cardinality rel)
+      | Error m -> Alcotest.fail m);
+      Alcotest.(check int) "no draw without a budget" 0
+        (Fault.stats ()).Fault.alloc_injected;
+      (* a finite row budget arms it: certain exhaustion at the first
+         intermediate materialization, surfacing as a row-budget kill *)
+      (match
+         Nra.query ~guard:(Guard.budget ~max_rows:1_000_000 ()) cat correlated
+       with
+      | Error m ->
+          Alcotest.(check string) "row kill"
+            "query killed: budget exceeded (intermediate-rows)" m
+      | Ok _ -> Alcotest.fail "expected an alloc-pressure kill");
+      Alcotest.(check bool) "draws counted" true
+        ((Fault.stats ()).Fault.alloc_injected > 0));
+  (* disabled again: the same budgeted query completes *)
+  match Nra.query ~guard:(Guard.budget ~max_rows:1_000_000 ()) cat correlated with
+  | Ok rel -> Alcotest.(check int) "recovered" 5 (Relation.cardinality rel)
+  | Error m -> Alcotest.fail m
+
+let test_alloc_probability_clamped () =
+  Fault.configure ~alloc_probability:1.5 0.0;
+  Alcotest.(check (float 0.0)) "clamped high" 1.0
+    (Fault.config ()).Fault.alloc_probability;
+  Fault.disable ();
+  Alcotest.(check (float 0.0)) "disable zeroes" 0.0
+    (Fault.config ()).Fault.alloc_probability
+
 let test_checkpoint_rollback () =
   Iosim.reset ();
   Iosim.charge_scan_rows 500;
@@ -141,6 +206,14 @@ let () =
             test_permanent_escapes;
           Alcotest.test_case "DML atomic under faults" `Quick
             test_dml_atomic_under_faults;
+          Alcotest.test_case "pluggable sleeper" `Quick test_pluggable_sleeper;
+        ] );
+      ( "alloc pressure",
+        [
+          Alcotest.test_case "armed only under a finite row budget" `Quick
+            test_alloc_pressure_needs_finite_budget;
+          Alcotest.test_case "probability clamped" `Quick
+            test_alloc_probability_clamped;
         ] );
       ( "iosim",
         [

@@ -1,0 +1,359 @@
+(* The serving layer (ISSUE: sessions, admission control, plan cache):
+   admission cap and bounded queue under burst, structured queue
+   timeouts, session aggregate budgets killing the Nth statement,
+   session close flushing queued work, generation-checked plan-cache
+   invalidation on DML and ANALYZE, and a guard unwind (alloc-pressure
+   fault) leaving session and cache consistent. *)
+
+open Nra
+module Server = Nra_server.Server
+module Admission = Nra_server.Admission
+module Plan_cache = Nra_server.Plan_cache
+module Session = Nra_server.Session
+
+let nested_sql =
+  "select ename from emp where dept_id in (select dept_id from dept \
+   where budget > 40)"
+
+let server ?(config = Server.default_config) () =
+  Server.create ~config (Test_support.emp_dept_catalog ())
+
+let admission_config ?(queue_timeout_ms = Some 1e9) ~max_concurrent ~queue_len
+    () =
+  {
+    Server.default_config with
+    Server.admission =
+      { Admission.max_concurrent; queue_len; queue_timeout_ms };
+  }
+
+let ok_rows = function
+  | Ok (Nra.Rows rel) -> Relation.cardinality rel
+  | Ok _ -> Alcotest.fail "expected rows"
+  | Error e -> Alcotest.fail (Exec_error.to_string e)
+
+(* ---------- admission under burst ---------- *)
+
+let test_burst_cap () =
+  let srv =
+    server ~config:(admission_config ~max_concurrent:2 ~queue_len:3 ()) ()
+  in
+  let s = Server.session srv () in
+  (* seven statements arriving at the same instant: 2 slots, 3 queue
+     places, 2 turned away *)
+  let results =
+    List.init 7 (fun _ -> Server.submit srv ~at:0.0 s nested_sql)
+  in
+  let count p = List.length (List.filter p results) in
+  Alcotest.(check int) "admitted run directly" 2
+    (count (function `Done { Server.result = Ok _; _ } -> true | _ -> false));
+  Alcotest.(check int) "queued" 3
+    (count (function `Queued -> true | _ -> false));
+  Alcotest.(check int) "rejected" 2
+    (count (function
+      | `Done { Server.result = Error (Exec_error.Rejected m); _ } ->
+          Alcotest.(check string) "reason" "admission queue full" m;
+          true
+      | _ -> false));
+  (* draining the backlog runs every queued statement to the same
+     result, in promotion order *)
+  let late = Server.finish srv in
+  Alcotest.(check int) "queued all completed" 3 (List.length late);
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "same rows" 4 (ok_rows o.Server.result);
+      match o.Server.started_at with
+      | Some st -> Alcotest.(check bool) "started after burst" true (st > 0.0)
+      | None -> Alcotest.fail "promoted statement never started")
+    late;
+  let a = Server.admission_stats srv in
+  Alcotest.(check int) "admitted total" 5 a.Admission.admitted;
+  Alcotest.(check int) "peak running" 2 a.Admission.peak_running;
+  Alcotest.(check int) "peak queue" 3 a.Admission.peak_queue;
+  Alcotest.(check int) "rejected_full" 2 a.Admission.rejected_full;
+  Alcotest.(check int) "statements charged" 5 (Session.statements s)
+
+let test_queue_timeout () =
+  let timeout = 0.001 in
+  let srv =
+    server
+      ~config:
+        (admission_config ~max_concurrent:1 ~queue_len:4
+           ~queue_timeout_ms:(Some timeout) ())
+      ()
+  in
+  let s = Server.session srv () in
+  (match Server.submit srv ~at:0.0 s nested_sql with
+  | `Done { Server.result = Ok _; _ } -> ()
+  | _ -> Alcotest.fail "first statement should run");
+  (match Server.submit srv ~at:0.0 s nested_sql with
+  | `Queued -> ()
+  | _ -> Alcotest.fail "second statement should queue");
+  match Server.finish srv with
+  | [ o ] -> (
+      match o.Server.result with
+      | Error (Exec_error.Queue_timeout { waited_ms }) ->
+          Alcotest.(check (float 1e-9)) "waited the timeout" timeout waited_ms;
+          Alcotest.(check (option (float 0.0))) "never started" None
+            o.Server.started_at;
+          Alcotest.(check bool) "rendered" true
+            (String.length
+               (Exec_error.to_string
+                  (Exec_error.Queue_timeout { waited_ms }))
+            > 0);
+          Alcotest.(check int) "timed out counted" 1
+            (Server.admission_stats srv).Admission.timed_out
+      | Error e -> Alcotest.fail (Exec_error.to_string e)
+      | Ok _ -> Alcotest.fail "expected a queue timeout")
+  | os -> Alcotest.fail (Printf.sprintf "expected 1 outcome, got %d"
+                           (List.length os))
+
+let test_close_flushes_queue () =
+  let srv =
+    server ~config:(admission_config ~max_concurrent:1 ~queue_len:4 ()) ()
+  in
+  let a = Server.session srv ~label:"a" () in
+  let b = Server.session srv ~label:"b" () in
+  (match Server.submit srv ~at:0.0 a nested_sql with
+  | `Done { Server.result = Ok _; _ } -> ()
+  | _ -> Alcotest.fail "a's statement should run");
+  List.iter
+    (fun _ ->
+      match Server.submit srv ~at:0.0 b nested_sql with
+      | `Queued -> ()
+      | _ -> Alcotest.fail "b's statements should queue")
+    [ (); () ];
+  Server.close_session srv b;
+  let flushed = Server.drain srv in
+  Alcotest.(check int) "both flushed" 2 (List.length flushed);
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "b's outcome" (Session.id b) o.Server.session_id;
+      match o.Server.result with
+      | Error Exec_error.Cancelled -> ()
+      | _ -> Alcotest.fail "expected cancellation")
+    flushed;
+  (* the closed session is rejected up front *)
+  (match Server.submit srv b nested_sql with
+  | `Done { Server.result = Error (Exec_error.Rejected m); _ } ->
+      Alcotest.(check string) "reason" "session closed" m
+  | _ -> Alcotest.fail "closed session must be rejected");
+  Alcotest.(check bool) "b closed" true (Session.closed b);
+  Alcotest.(check int) "cancelled counted" 2
+    (Server.admission_stats srv).Admission.cancelled;
+  (* nothing of b's ever ran and a's session is untouched *)
+  Alcotest.(check int) "b never charged" 0 (Session.statements b);
+  Alcotest.(check int) "a unaffected" 1 (Session.statements a);
+  Alcotest.(check int) "no more outcomes" 0
+    (List.length (Server.finish srv))
+
+(* ---------- session aggregate budgets ---------- *)
+
+let test_session_budget_kills_nth () =
+  (* measure one statement's simulated-I/O spend on an unlimited
+     session, then allow 1.5x that: statement 1 fits, statement 2 must
+     die mid-flight on the session's aggregate allowance *)
+  let probe = server () in
+  let sp = Server.session probe () in
+  ignore (ok_rows (Server.exec probe sp nested_sql));
+  let per_stmt = (Session.spent sp).Guard.sim_io_ms in
+  Alcotest.(check bool) "probe spent io" true (per_stmt > 0.0);
+  let srv = server () in
+  let s = Server.session srv ~sim_io_ms:(per_stmt *. 1.5) () in
+  Alcotest.(check int) "first fits" 4 (ok_rows (Server.exec srv s nested_sql));
+  (match Server.exec srv s nested_sql with
+  | Error (Exec_error.Budget_exceeded Guard.Sim_io) -> ()
+  | Error e -> Alcotest.fail (Exec_error.to_string e)
+  | Ok _ -> Alcotest.fail "second statement must exceed the session budget");
+  Alcotest.(check int) "both charged" 2 (Session.statements s);
+  (* the kill is cooperative and early: the killed statement cannot have
+     spent more than the whole session allowance *)
+  Alcotest.(check bool) "spend bounded" true
+    ((Session.spent s).Guard.sim_io_ms <= per_stmt *. 1.5 +. 1e-9)
+
+let test_statement_override_only_tightens () =
+  let srv = server () in
+  let s = Server.session srv () in
+  (match
+     Server.exec srv ~guard:(Guard.budget ~sim_io_ms:1e-9 ()) s nested_sql
+   with
+  | Error (Exec_error.Budget_exceeded Guard.Sim_io) -> ()
+  | Error e -> Alcotest.fail (Exec_error.to_string e)
+  | Ok _ -> Alcotest.fail "tight override must kill the statement");
+  (* the session itself is unlimited, so the next statement is fine *)
+  Alcotest.(check int) "session survives" 4
+    (ok_rows (Server.exec srv s nested_sql))
+
+(* ---------- the plan cache ---------- *)
+
+let cache_stats srv = Plan_cache.stats (Server.cache srv)
+
+let test_cache_hit_on_normalized_repeat () =
+  let srv = server () in
+  let s = Server.session srv () in
+  ignore (ok_rows (Server.exec srv s nested_sql));
+  ignore
+    (ok_rows
+       (Server.exec srv s
+          "SELECT ename   FROM emp WHERE dept_id IN (select dept_id \
+           from dept\n  where budget > 40)"));
+  let c = cache_stats srv in
+  Alcotest.(check int) "one miss" 1 c.Plan_cache.misses;
+  Alcotest.(check int) "one hit" 1 c.Plan_cache.hits;
+  (* quoted literals keep their case: different constants, different
+     plans *)
+  ignore (ok_rows (Server.exec srv s "select * from emp where ename = 'ada'"));
+  ignore
+    (ok_rows (Server.exec srv s "select * from emp where ename = 'ADA'"));
+  let c = cache_stats srv in
+  Alcotest.(check int) "literal case is significant" 3 c.Plan_cache.misses;
+  Alcotest.(check int) "entries" 3 c.Plan_cache.entries
+
+let test_cache_strategy_keyed () =
+  let srv = server () in
+  let s = Server.session srv () in
+  ignore (ok_rows (Server.exec srv s nested_sql));
+  ignore (ok_rows (Server.exec srv s nested_sql));
+  (* same text prepared for a different strategy is a different plan *)
+  (match
+     Plan_cache.find_or_prepare (Server.cache srv) ~strategy:Nra.Naive
+       nested_sql
+   with
+  | Ok p ->
+      Alcotest.(check bool) "prepared for naive" true
+        (Nra.prepared_strategy p = Nra.Naive)
+  | Error e -> Alcotest.fail (Exec_error.to_string e));
+  let c = cache_stats srv in
+  Alcotest.(check int) "strategy in the key" 2 c.Plan_cache.misses;
+  Alcotest.(check int) "hit only on same strategy" 1 c.Plan_cache.hits
+
+let test_cache_invalidation_on_dml_and_analyze () =
+  let srv = server () in
+  let s = Server.session srv () in
+  Alcotest.(check int) "cold" 4 (ok_rows (Server.exec srv s nested_sql));
+  Alcotest.(check int) "warm" 4 (ok_rows (Server.exec srv s nested_sql));
+  let c = cache_stats srv in
+  Alcotest.(check int) "warm hit" 1 c.Plan_cache.hits;
+  (* DML bumps the catalog generation: the cached plan must not survive *)
+  (match
+     Server.exec srv s "insert into emp values (7, 'gil', 1, 55, null)"
+   with
+  | Ok (Nra.Count 1) -> ()
+  | Ok _ -> Alcotest.fail "expected one inserted row"
+  | Error e -> Alcotest.fail (Exec_error.to_string e));
+  Alcotest.(check int) "sees the insert" 5
+    (ok_rows (Server.exec srv s nested_sql));
+  let c = cache_stats srv in
+  Alcotest.(check int) "invalidated by DML" 1 c.Plan_cache.invalidations;
+  (* re-warmed... *)
+  Alcotest.(check int) "re-warmed" 5 (ok_rows (Server.exec srv s nested_sql));
+  Alcotest.(check int) "re-warmed hit" 2 (cache_stats srv).Plan_cache.hits;
+  (* ...until ANALYZE bumps the statistics epoch *)
+  (match Server.exec srv s "analyze" with
+  | Ok (Nra.Done _) -> ()
+  | _ -> Alcotest.fail "analyze failed");
+  Alcotest.(check int) "after analyze" 5
+    (ok_rows (Server.exec srv s nested_sql));
+  Alcotest.(check int) "invalidated by ANALYZE" 2
+    (cache_stats srv).Plan_cache.invalidations;
+  (* DML and ANALYZE themselves were never cached *)
+  Alcotest.(check int) "only the query is cached" 1
+    (cache_stats srv).Plan_cache.entries
+
+let test_cache_lru_eviction () =
+  let cat = Test_support.emp_dept_catalog () in
+  let pc = Plan_cache.create ~capacity:2 cat in
+  let get sql =
+    match Plan_cache.find_or_prepare pc ~strategy:Nra.Nra_optimized sql with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Exec_error.to_string e)
+  in
+  get "select * from emp";
+  get "select * from dept";
+  get "select * from emp";  (* refresh emp: dept becomes the LRU victim *)
+  get "select * from project";
+  let c = Plan_cache.stats pc in
+  Alcotest.(check int) "capacity held" 2 c.Plan_cache.entries;
+  Alcotest.(check int) "one eviction" 1 c.Plan_cache.evictions;
+  get "select * from emp";
+  Alcotest.(check int) "emp survived as recently used" 2
+    (Plan_cache.stats pc).Plan_cache.hits
+
+let test_normalize () =
+  Alcotest.(check string) "case and whitespace" "select * from emp"
+    (Plan_cache.normalize "  SELECT   *\n FROM\temp ;");
+  Alcotest.(check string) "literals preserved"
+    "select * from emp where ename = 'Ada  B'"
+    (Plan_cache.normalize "SELECT * FROM emp WHERE ename = 'Ada  B'");
+  Alcotest.(check string) "escaped quote stays inside the literal"
+    "select 'it''s OK' from emp"
+    (Plan_cache.normalize "SELECT   'it''s OK'  FROM emp")
+
+(* ---------- fault unwind consistency ---------- *)
+
+let test_alloc_fault_unwind_keeps_state () =
+  (* a correlated query pinned to the NRA pipeline: it materializes the
+     wide intermediate whose allocation the fault layer pressures *)
+  let correlated =
+    "select ename from emp where exists (select * from project where \
+     owner_dept = emp.dept_id)"
+  in
+  let srv =
+    server
+      ~config:{ Server.default_config with Server.strategy = Nra.Nra_optimized }
+      ()
+  in
+  let s = Server.session srv ~rows:1_000_000 () in
+  Alcotest.(check int) "healthy first" 5
+    (ok_rows (Server.exec srv s correlated));
+  Fault.configure ~alloc_probability:1.0 0.0;
+  Fun.protect ~finally:Fault.disable (fun () ->
+      match Server.exec srv s correlated with
+      | Error (Exec_error.Budget_exceeded Guard.Rows) ->
+          Alcotest.(check bool) "alloc fault counted" true
+            ((Fault.stats ()).Fault.alloc_injected > 0)
+      | Error e -> Alcotest.fail (Exec_error.to_string e)
+      | Ok _ -> Alcotest.fail "alloc pressure must kill the statement");
+  (* the unwind charged the session and left the cache consistent: the
+     same session runs the same (still-cached) plan to completion *)
+  Alcotest.(check int) "charged both" 2 (Session.statements s);
+  Alcotest.(check int) "recovers" 5 (ok_rows (Server.exec srv s correlated));
+  let c = cache_stats srv in
+  Alcotest.(check int) "no spurious invalidation" 0
+    c.Plan_cache.invalidations;
+  Alcotest.(check int) "plan reused across the kill" 2 c.Plan_cache.hits
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "burst: cap, queue, reject" `Quick test_burst_cap;
+          Alcotest.test_case "queue timeout is structured" `Quick
+            test_queue_timeout;
+          Alcotest.test_case "close flushes queued work" `Quick
+            test_close_flushes_queue;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "aggregate budget kills Nth statement" `Quick
+            test_session_budget_kills_nth;
+          Alcotest.test_case "override only tightens" `Quick
+            test_statement_override_only_tightens;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit on normalized repeat" `Quick
+            test_cache_hit_on_normalized_repeat;
+          Alcotest.test_case "strategy is in the key" `Quick
+            test_cache_strategy_keyed;
+          Alcotest.test_case "DML and ANALYZE invalidate" `Quick
+            test_cache_invalidation_on_dml_and_analyze;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "normalization" `Quick test_normalize;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "alloc-pressure unwind keeps state" `Quick
+            test_alloc_fault_unwind_keeps_state;
+        ] );
+    ]

@@ -254,6 +254,46 @@ let test_auto_within_tolerance () =
              best rows))
     [ 500.; 16_000. ]
 
+(* ---------- budget-aware pick (Guard.remaining -> Cost.pick) ---------- *)
+
+let test_budget_pick_flips () =
+  let open Stats.Cost in
+  let est strategy cost_ms fetched_rows =
+    {
+      strategy;
+      cost_ms;
+      breakdown = { seq_pages = 0.0; rand_pages = 0.0; fetched_rows };
+    }
+  in
+  (* cheapest by I/O but intermediate-heavy, vs pricier but scan-shaped *)
+  let heavy = est Nra_optimized 10.0 100_000.0 in
+  let lean = est Classical 25.0 200.0 in
+  let choice ?io ?rows () =
+    (pick ~remaining_io_ms:io ~remaining_rows:rows [ heavy; lean ]).strategy
+  in
+  Alcotest.(check bool) "unlimited: globally cheapest" true
+    (choice () = Nra_optimized);
+  (* the row allowance shrinks below the heavy plan's intermediates:
+     the choice flips to the lean plan even though it prices higher *)
+  Alcotest.(check bool) "tight rows flips the choice" true
+    (choice ~rows:10_000 () = Classical);
+  (* shrinks below every plan: doomed either way, so take the cheapest
+     path to the kill *)
+  Alcotest.(check bool) "hopeless budget: cheapest again" true
+    (choice ~rows:50 () = Nra_optimized);
+  (* an I/O allowance the lean plan does not fit prunes it back out *)
+  Alcotest.(check bool) "io prunes the lean plan" true
+    (choice ~io:15.0 ~rows:10_000 () = Nra_optimized);
+  (* end to end: auto_choice consults Guard.remaining () of an active
+     budget and still resolves to a runnable strategy *)
+  let cat = Test_support.emp_dept_catalog () in
+  (match Nra.exec cat "analyze" with Ok _ -> () | Error m -> Alcotest.fail m);
+  let sql = "select ename from emp where salary > 50" in
+  Guard.with_budget (Guard.budget ~max_rows:5 ()) (fun () ->
+      match Nra.auto_choice cat sql with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+
 let () =
   Alcotest.run "stats"
     [
@@ -284,5 +324,7 @@ let () =
             test_auto_choice_regression;
           Alcotest.test_case "within 10% of the best" `Slow
             test_auto_within_tolerance;
+          Alcotest.test_case "budget-aware pick flips" `Quick
+            test_budget_pick_flips;
         ] );
     ]
