@@ -1,24 +1,36 @@
 (* Serving-layer workload driver: N simulated clients replay the
    Figure-4 query mix through the server (sessions + admission control +
-   plan cache), in the engine's deterministic virtual-time model.
+   plan cache + cooperative scheduler), in the engine's deterministic
+   virtual-time model.
 
-   Each client is a session; arrivals are open-loop, round-robin with a
-   fixed inter-arrival gap, so with service times far above the gap the
-   admission queue fills and the run exercises queueing, queue timeouts
-   and rejections — all reproducibly, since both the data and the clock
-   are simulated.  Before the last round one client issues ANALYZE,
-   which bumps the statistics epoch and invalidates the cached plans.
+   Default mode — each client is a session; arrivals are open-loop,
+   round-robin with a fixed inter-arrival gap, so with service times far
+   above the gap the admission queue fills and the run exercises
+   queueing, queue timeouts and rejections — all reproducibly, since
+   both the data and the clock are simulated.  Before the last round one
+   client issues ANALYZE, which bumps the statistics epoch and
+   invalidates the cached plans.  Reports throughput (virtual qps),
+   p50/p95 latency, rejections and the plan-cache hit rate, to stdout
+   and BENCH_server.json.
 
-   Reports throughput (virtual qps), p50/p95 latency, rejections and
-   the plan-cache hit rate, to stdout and BENCH_server.json.
+   --concurrency-sweep — a head-of-line-blocking workload (a few long
+   statements salted into a stream of short ones) replayed at several
+   scheduler quanta, including [infinity] (= PR 3's slot-serialized
+   baseline: a statement occupies its slot for its whole simulated-I/O
+   duration).  Reports throughput/p50/p95 per quantum and fails unless
+   interleaving (any finite quantum) improves the multi-client p95 over
+   the serialized baseline.
 
    Usage:
      dune exec bench/server_bench.exe
      dune exec bench/server_bench.exe -- --scale 0.005 --clients 4 \
        --rounds 2 --max-concurrent 2 --queue-len 4 \
-       --queue-timeout-ms 3000 --gap-ms 10 *)
+       --queue-timeout-ms 3000 --gap-ms 10
+     dune exec bench/server_bench.exe -- --concurrency-sweep \
+       --scale 0.005 --clients 4 --max-concurrent 2 *)
 
 module Server = Nra_server.Server
+module Scheduler = Nra_server.Scheduler
 module Admission = Nra_server.Admission
 module Plan_cache = Nra_server.Plan_cache
 module Q = Nra.Tpch.Queries
@@ -31,12 +43,16 @@ let queue_len = ref 4
 let queue_timeout_ms = ref 5_000.0
 let gap_ms = ref 10.0
 let out_path = ref "BENCH_server.json"
+let sweep = ref false
+let sweep_shorts = ref 24  (* short statements per client *)
+let sweep_longs = ref 4  (* long statements, salted in by client 0 *)
 
 let usage () =
   prerr_endline
     "usage: server_bench.exe [--scale S] [--clients N] [--rounds N] \
      [--max-concurrent N] [--queue-len N] [--queue-timeout-ms MS] \
-     [--gap-ms MS] [--out PATH]";
+     [--gap-ms MS] [--out PATH] [--concurrency-sweep] [--shorts N] \
+     [--longs N]";
   exit 2
 
 let () =
@@ -57,6 +73,9 @@ let () =
     | "--queue-timeout-ms" :: s :: rest -> float_ref queue_timeout_ms s; parse rest
     | "--gap-ms" :: s :: rest -> float_ref gap_ms s; parse rest
     | "--out" :: p :: rest -> out_path := p; parse rest
+    | "--concurrency-sweep" :: rest -> sweep := true; parse rest
+    | "--shorts" :: n :: rest -> int_ref sweep_shorts n; parse rest
+    | "--longs" :: n :: rest -> int_ref sweep_longs n; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -73,12 +92,216 @@ let percentile sorted p =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
-let () =
-  let cfg = { Nra.Tpch.Gen.default with Nra.Tpch.Gen.scale = !scale } in
-  Printf.printf "generating TPC-H data at scale %.3f...\n%!" !scale;
-  let cat = Nra.Tpch.Gen.generate cfg in
-  Nra.Tpch.Gen.add_benchmark_indexes cat;
-  ignore (Nra.exec cat "analyze");
+let stats_of_latencies lat =
+  let sorted = Array.of_list lat in
+  Array.sort compare sorted;
+  (percentile sorted 0.50, percentile sorted 0.95)
+
+(* ---------- the concurrency sweep ---------- *)
+
+type sweep_point = {
+  sp_quantum_ms : float;
+  sp_ok : int;
+  sp_errors : int;
+  sp_qps : float;
+  sp_p50 : float;
+  sp_p95 : float;
+  sp_p50_short : float;
+  sp_p95_short : float;
+  sp_slices : int;
+  sp_yields : int;
+  sp_host_s : float;
+}
+
+let run_sweep_point cat ~quantum_ms ~short_sql ~long_sql =
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          admission =
+            {
+              Admission.max_concurrent = !max_concurrent;
+              (* the sweep compares latency shapes, so nothing may be
+                 turned away or timed out *)
+              queue_len = 4096;
+              queue_timeout_ms = None;
+            };
+          (* a fixed strategy, not Auto: Auto's kill-and-fallback
+             attempt is a no-yield critical section (its Iosim
+             checkpoint/rollback cannot tolerate concurrent charges —
+             see docs/SERVER.md), so Auto statements would serialize
+             and the sweep would measure nothing *)
+          strategy = Nra.Nra_optimized;
+          quantum_ms;
+        }
+      cat
+  in
+  let sessions =
+    Array.init !clients (fun i ->
+        Server.session server ~label:(Printf.sprintf "client-%d" i) ())
+  in
+  (* arrival schedule: waves of one short per client, every
+     (shorts/longs)-th wave preceded by a long from client 0 *)
+  let events = ref [] in
+  let t = ref 0.0 in
+  let next () = let a = !t in t := a +. !gap_ms; a in
+  let every = max 1 (!sweep_shorts / !sweep_longs) in
+  for k = 0 to !sweep_shorts - 1 do
+    if k mod every = 0 then events := (next (), 0, long_sql) :: !events;
+    for i = 0 to !clients - 1 do
+      events := (next (), i, short_sql) :: !events
+    done
+  done;
+  let events = List.rev !events in
+  let outcomes = ref [] in
+  let note os = outcomes := List.rev_append os !outcomes in
+  let host_t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (at, i, sql) ->
+      (match Server.submit server ~at sessions.(i) sql with
+      | `Done o -> note [ o ]
+      | `Running _ | `Queued -> ());
+      note (Server.drain server))
+    events;
+  note (Server.finish server);
+  let host_s = Unix.gettimeofday () -. host_t0 in
+  let ok = ref 0 and errors = ref 0 in
+  let lat = ref [] and lat_short = ref [] in
+  List.iter
+    (fun o ->
+      match o.Server.result with
+      | Ok _ ->
+          incr ok;
+          let l = Server.latency_ms o in
+          lat := l :: !lat;
+          if String.equal o.Server.sql short_sql then
+            lat_short := l :: !lat_short
+      | Error _ -> incr errors)
+    !outcomes;
+  let p50, p95 = stats_of_latencies !lat in
+  let p50_short, p95_short = stats_of_latencies !lat_short in
+  let virtual_s = Server.now server /. 1000.0 in
+  let qps = if virtual_s > 0.0 then float_of_int !ok /. virtual_s else 0.0 in
+  let st = Scheduler.stats (Server.scheduler server) in
+  {
+    sp_quantum_ms = quantum_ms;
+    sp_ok = !ok;
+    sp_errors = !errors;
+    sp_qps = qps;
+    sp_p50 = p50;
+    sp_p95 = p95;
+    sp_p50_short = p50_short;
+    sp_p95_short = p95_short;
+    sp_slices = st.Scheduler.slices;
+    sp_yields = st.Scheduler.yields;
+    sp_host_s = host_s;
+  }
+
+let quantum_label q = if q = infinity then "inf" else Printf.sprintf "%g" q
+
+let run_sweep cat =
+  (* a head-of-line-blocking mix: the short is an interactive-grade
+     nested lookup over the small dimension tables (~0.2 ms simulated),
+     the long is the paper's Query 1 over a wide date window (~100 ms) —
+     what matters is the 500x asymmetry, because the sweep measures how
+     long a short statement sits behind an in-flight long one *)
+  let short_sql =
+    "select s_name from supplier where s_nationkey in (select n_nationkey \
+     from nation where n_regionkey = 2)"
+  and long_sql =
+    let lo, hi = Q.q1_window ~outer_fraction:(16_000. /. 1_500_000.) in
+    Q.q1 ~date_lo:lo ~date_hi:hi
+  in
+  let quanta = [ infinity; 0.25; 0.5; 1.0; 2.0 ] in
+  let points =
+    List.map
+      (fun q ->
+        Printf.printf "quantum %s ms...\n%!" (quantum_label q);
+        run_sweep_point cat ~quantum_ms:q ~short_sql ~long_sql)
+      quanta
+  in
+  let n_stmts = !clients * !sweep_shorts + !sweep_longs in
+  Printf.printf
+    "\nconcurrency sweep: %d clients, %d statements (%d long), %d slot(s)\n"
+    !clients n_stmts !sweep_longs !max_concurrent;
+  Printf.printf "%8s %6s %5s %9s %9s %9s %9s %8s\n" "quantum" "ok" "err"
+    "qps" "p50" "p95" "p95short" "slices";
+  List.iter
+    (fun p ->
+      Printf.printf "%8s %6d %5d %9.2f %9.1f %9.1f %9.1f %8d\n"
+        (quantum_label p.sp_quantum_ms)
+        p.sp_ok p.sp_errors p.sp_qps p.sp_p50 p.sp_p95 p.sp_p95_short
+        p.sp_slices)
+    points;
+  let baseline =
+    List.find (fun p -> p.sp_quantum_ms = infinity) points
+  in
+  let finite = List.filter (fun p -> p.sp_quantum_ms <> infinity) points in
+  let best =
+    List.fold_left
+      (fun acc p -> if p.sp_p95 < acc.sp_p95 then p else acc)
+      (List.hd finite) (List.tl finite)
+  in
+  Printf.printf
+    "p95: serialized (quantum inf) %.1f ms -> interleaved (quantum %s) %.1f \
+     ms (%+.1f%%)\n"
+    baseline.sp_p95
+    (quantum_label best.sp_quantum_ms)
+    best.sp_p95
+    (100.0 *. (best.sp_p95 -. baseline.sp_p95) /. baseline.sp_p95);
+  let oc = open_out !out_path in
+  let json_q q =
+    if q = infinity then "\"inf\"" else Printf.sprintf "%g" q
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mode\": \"concurrency-sweep\",\n\
+    \  \"scale\": %g,\n\
+    \  \"clients\": %d,\n\
+    \  \"max_concurrent\": %d,\n\
+    \  \"gap_ms\": %g,\n\
+    \  \"statements\": %d,\n\
+    \  \"long_statements\": %d,\n\
+    \  \"sweep\": [\n"
+    !scale !clients !max_concurrent !gap_ms n_stmts !sweep_longs;
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "    {\"quantum_ms\": %s, \"ok\": %d, \"errors\": %d, \
+         \"throughput_qps\": %.4f, \"latency_p50_ms\": %.2f, \
+         \"latency_p95_ms\": %.2f, \"latency_p50_short_ms\": %.2f, \
+         \"latency_p95_short_ms\": %.2f, \"slices\": %d, \"yields\": %d, \
+         \"host_seconds\": %.3f}%s\n"
+        (json_q p.sp_quantum_ms) p.sp_ok p.sp_errors p.sp_qps p.sp_p50
+        p.sp_p95 p.sp_p50_short p.sp_p95_short p.sp_slices p.sp_yields
+        p.sp_host_s
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"p95_serialized_ms\": %.2f,\n\
+    \  \"p95_interleaved_best_ms\": %.2f,\n\
+    \  \"p95_improved\": %b\n\
+     }\n"
+    baseline.sp_p95 best.sp_p95
+    (best.sp_p95 < baseline.sp_p95);
+  close_out oc;
+  Printf.printf "wrote %s\n" !out_path;
+  if best.sp_ok <> baseline.sp_ok then begin
+    Printf.eprintf "FAIL: outcome count changed across quanta (%d vs %d)\n"
+      best.sp_ok baseline.sp_ok;
+    exit 1
+  end;
+  if best.sp_p95 >= baseline.sp_p95 then begin
+    prerr_endline
+      "FAIL: interleaving did not improve p95 over the serialized baseline";
+    exit 1
+  end
+
+(* ---------- the default open-loop mix ---------- *)
+
+let run_mix cat =
   let server =
     Server.create
       ~config:
@@ -119,7 +342,7 @@ let () =
             incr n_stmts;
             match Server.submit server ~at s sql with
             | `Done o -> note [ o ]
-            | `Queued -> ())
+            | `Running _ | `Queued -> ())
           sessions;
         note (Server.drain server))
       mix
@@ -139,9 +362,7 @@ let () =
       | Error (Nra.Exec_error.Queue_timeout _) -> incr timed_out
       | Error _ -> incr other_err)
     outcomes;
-  let sorted = Array.of_list !lat in
-  Array.sort compare sorted;
-  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  let p50, p95 = stats_of_latencies !lat in
   let virtual_s = Server.now server /. 1000.0 in
   let qps = if virtual_s > 0.0 then float_of_int !ok /. virtual_s else 0.0 in
   let cs = Plan_cache.stats (Server.cache server) in
@@ -157,7 +378,9 @@ let () =
     "virtual time %.2fs -> %.2f qps; latency p50 %.1f ms, p95 %.1f ms \
      (host %.2fs)\n"
     virtual_s qps p50 p95 host_s;
-  Format.printf "%a@.%a@." Admission.pp_stats a Plan_cache.pp_stats cs;
+  Format.printf "%a@.%a@.%a@." Admission.pp_stats a Plan_cache.pp_stats cs
+    Scheduler.pp_stats
+    (Scheduler.stats (Server.scheduler server));
   let oc = open_out !out_path in
   Printf.fprintf oc
     "{\n\
@@ -168,6 +391,7 @@ let () =
     \  \"queue_len\": %d,\n\
     \  \"queue_timeout_ms\": %g,\n\
     \  \"gap_ms\": %g,\n\
+    \  \"quantum_ms\": %g,\n\
     \  \"statements\": %d,\n\
     \  \"ok\": %d,\n\
     \  \"rejected\": %d,\n\
@@ -184,7 +408,9 @@ let () =
      %d, \"timed_out\": %d, \"peak_running\": %d, \"peak_queue\": %d}\n\
      }\n"
     !scale !clients !rounds !max_concurrent !queue_len !queue_timeout_ms
-    !gap_ms !n_stmts !ok !rejected !timed_out !other_err virtual_s qps p50
+    !gap_ms
+    (Server.config server).Server.quantum_ms
+    !n_stmts !ok !rejected !timed_out !other_err virtual_s qps p50
     p95 host_s cs.Plan_cache.hits cs.Plan_cache.misses hit_rate
     cs.Plan_cache.invalidations cs.Plan_cache.evictions a.Admission.admitted
     a.Admission.queued a.Admission.rejected_full a.Admission.timed_out
@@ -195,3 +421,11 @@ let () =
     prerr_endline "FAIL: plan-cache hit rate is zero";
     exit 1
   end
+
+let () =
+  let cfg = { Nra.Tpch.Gen.default with Nra.Tpch.Gen.scale = !scale } in
+  Printf.printf "generating TPC-H data at scale %.3f...\n%!" !scale;
+  let cat = Nra.Tpch.Gen.generate cfg in
+  Nra.Tpch.Gen.add_benchmark_indexes cat;
+  ignore (Nra.exec cat "analyze");
+  if !sweep then run_sweep cat else run_mix cat

@@ -155,6 +155,18 @@ let queue_len =
     & opt int Nra_server.Admission.default_config.queue_len
     & info [ "queue-len" ] ~docv:"N" ~doc)
 
+let quantum_ms =
+  let doc =
+    "Cooperative scheduler quantum: simulated-I/O milliseconds a \
+     statement may charge per slice before yielding to other in-flight \
+     statements ('inf' disables interleaving: a statement runs to \
+     completion once scheduled)."
+  in
+  Arg.(
+    value
+    & opt float Nra_server.Scheduler.default_quantum_ms
+    & info [ "quantum-ms" ] ~docv:"MS" ~doc)
+
 (* Run [f] over a budget assembled from the flags, with SIGINT wired to
    the budget's cancel token for the duration (the default Ctrl-C
    behavior is restored afterwards, so a second Ctrl-C at a prompt still
@@ -328,7 +340,7 @@ let analyze_cmd =
 
 let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
     max_rows faults fault_seed session_wall_ms session_io_ms session_rows
-    max_concurrent queue_len =
+    max_concurrent queue_len quantum_ms =
   let cat = make_catalog scale seed null_rate not_null in
   install_faults faults fault_seed;
   let server =
@@ -346,6 +358,7 @@ let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
           session_sim_io_ms = session_io_ms;
           session_rows;
           strategy;
+          quantum_ms;
         }
       cat
   in
@@ -401,7 +414,7 @@ let repl_cmd =
       const run_repl $ strategy $ scale $ seed $ null_rate $ not_null
       $ timeout_ms $ io_budget_ms $ max_rows $ faults $ fault_seed
       $ session_wall_ms $ session_io_ms $ session_rows $ max_concurrent
-      $ queue_len)
+      $ queue_len $ quantum_ms)
 
 let main =
   let info =

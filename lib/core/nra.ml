@@ -235,8 +235,13 @@ and run_auto_estimates cat t es =
            ())
     in
     let cp = Nra_storage.Iosim.checkpoint () in
+    (* the attempt is a scheduler critical section: on a kill the
+       checkpoint rollback rewinds the global I/O ledger, which is only
+       sound if no concurrently scheduled statement charged it since
+       the checkpoint was taken *)
     match
-      Guard.with_budget attempt (fun () -> run_analyzed pick cat t)
+      Guard.with_no_yield (fun () ->
+          Guard.with_budget attempt (fun () -> run_analyzed pick cat t))
     with
     | rel -> rel
     | exception Guard.Killed (Guard.Budget_exceeded _) ->

@@ -21,13 +21,32 @@ let cond_uids c =
 let applicable ~uids c =
   List.for_all (fun u -> List.mem u uids) (cond_uids c)
 
+(* Scan charges are chunked, with a checkpoint between chunks: a
+   monolithic [charge_scan_rows] for a large table would make the whole
+   scan one atomic slice — budgets would only be checked (and the
+   scheduler could only preempt) once per table.  Chunks are whole
+   pages, so the page total (and therefore the charge) is identical to
+   the single-call form. *)
+let scan_chunk_pages = 8
+
+let charge_scan_chunked n =
+  let per = scan_chunk_pages * (Iosim.config ()).Iosim.rows_per_page in
+  let rec go remaining =
+    if remaining > 0 then begin
+      Fault.with_retries (fun () ->
+          Iosim.charge_scan_rows (min per remaining));
+      Nra_guard.Guard.tick ();
+      go (remaining - per)
+    end
+  in
+  go n
+
 let block_relation ?(charge = true) (b : Analyze.block) =
   Nra_guard.Guard.tick ();
   if charge then
     List.iter
       (fun (bd : Analyze.binding) ->
-        Fault.with_retries (fun () ->
-            Iosim.charge_scan_rows (Table.cardinality bd.Analyze.table)))
+        charge_scan_chunked (Table.cardinality bd.Analyze.table))
       b.Analyze.bindings;
   let pending = ref b.Analyze.local in
   let take uids =

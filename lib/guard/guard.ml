@@ -54,30 +54,107 @@ let is_unlimited b =
   b.wall_ms = None && b.sim_io_ms = None && b.max_rows = None
   && b.cancel_on = None
 
-(* ---------- the active guard ---------- *)
+(* ---------- the active guard ----------
+
+   A statement may run as a cooperative-scheduler task that is suspended
+   and resumed many times, so a scope cannot measure its consumption as
+   "now minus a fixed start": while the task is descheduled, other tasks
+   advance both the wall clock and the shared simulated-I/O clock, and
+   neither belongs to this statement.  Each scope therefore accrues
+   consumption incrementally — [acc] holds what was spent in completed
+   run slices, [base] marks where the current slice began — and
+   {!save_ctx}/{!restore_ctx} fold/rebase at every context switch, so a
+   scope is only ever charged for time that passed while its own task
+   was running.
+
+   The active scopes form an explicit stack (innermost first): the whole
+   stack IS the task's guard context, detached wholesale on suspend. *)
 
 type state = {
   b : budget;
-  wall_start : float;
-  io_start_ms : float;
+  mutable wall_acc_ms : float;  (* spent in finished run slices *)
+  mutable io_acc_ms : float;
+  mutable wall_base : float;  (* where the current slice began *)
+  mutable io_base_ms : float;
   mutable rows : int;
   mutable ticks : int;
 }
 
-let current : state option ref = ref None
+let stack : state list ref = ref []
 
 let io_now_ms () = Nra_storage.Iosim.simulated_seconds () *. 1000.0
 
 let install b =
   {
     b;
-    wall_start = Unix.gettimeofday ();
-    io_start_ms = io_now_ms ();
+    wall_acc_ms = 0.0;
+    io_acc_ms = 0.0;
+    wall_base = Unix.gettimeofday ();
+    io_base_ms = io_now_ms ();
     rows = 0;
     ticks = 0;
   }
 
-let active () = Option.map (fun s -> s.b) !current
+let wall_spent s =
+  s.wall_acc_ms +. ((Unix.gettimeofday () -. s.wall_base) *. 1000.0)
+
+let io_spent s = s.io_acc_ms +. (io_now_ms () -. s.io_base_ms)
+
+let active () = match !stack with [] -> None | s :: _ -> Some s.b
+
+(* ---------- scheduler integration ---------- *)
+
+(* The cooperative scheduler (nra.server) registers a hook here; every
+   checkpoint calls it after the budget checks, and the hook decides
+   whether the running task's quantum has expired and performs its
+   yield effect.  The guard itself knows nothing about effects — this
+   indirection is what lets the seven evaluators interleave without any
+   of them changing. *)
+let yield_hook : (unit -> unit) option ref = ref None
+let set_yield_hook h = yield_hook := h
+
+(* Critical sections: Auto's killable attempt rolls the I/O ledger back
+   on a kill, which must not erase charges a concurrently scheduled
+   statement accrued in between; DML's read-validate-commit must not
+   interleave with another writer.  Both run with yields suppressed. *)
+let no_yield_depth = ref 0
+
+let with_no_yield f =
+  incr no_yield_depth;
+  Fun.protect ~finally:(fun () -> decr no_yield_depth) f
+
+let yields_suppressed () = !no_yield_depth > 0
+
+let maybe_yield () =
+  match !yield_hook with
+  | Some h when !no_yield_depth = 0 -> h ()
+  | _ -> ()
+
+type ctx = state list
+
+let empty_ctx : ctx = []
+
+let save_ctx () =
+  let now = Unix.gettimeofday () and io = io_now_ms () in
+  List.iter
+    (fun s ->
+      s.wall_acc_ms <- s.wall_acc_ms +. ((now -. s.wall_base) *. 1000.0);
+      s.io_acc_ms <- s.io_acc_ms +. (io -. s.io_base_ms);
+      s.wall_base <- now;
+      s.io_base_ms <- io)
+    !stack;
+  let c = !stack in
+  stack := [];
+  c
+
+let restore_ctx c =
+  let now = Unix.gettimeofday () and io = io_now_ms () in
+  List.iter
+    (fun s ->
+      s.wall_base <- now;
+      s.io_base_ms <- io)
+    c;
+  stack := c
 
 (* ---------- events ---------- *)
 
@@ -106,39 +183,38 @@ let check s =
   | Some t when !t -> raise (Killed Cancelled)
   | _ -> ());
   (match s.b.sim_io_ms with
-  | Some limit when io_now_ms () -. s.io_start_ms > limit ->
+  | Some limit when io_spent s > limit ->
       raise (Killed (Budget_exceeded Sim_io))
   | _ -> ());
   (* the wall clock moves slowly relative to row production; sample it
      every 32nd tick to keep the checkpoint cheap *)
   if s.ticks land 31 = 0 then
     match s.b.wall_ms with
-    | Some limit
-      when (Unix.gettimeofday () -. s.wall_start) *. 1000.0 > limit ->
+    | Some limit when wall_spent s > limit ->
         raise (Killed (Budget_exceeded Wall_clock))
     | _ -> ()
 
 let tick () =
-  match !current with
-  | None -> ()
-  | Some s ->
+  (match !stack with
+  | [] -> ()
+  | s :: _ ->
       s.ticks <- s.ticks + 1;
-      check s
+      check s);
+  maybe_yield ()
 
 let recheck () =
-  match !current with
-  | None -> ()
-  | Some s -> (
+  match !stack with
+  | [] -> ()
+  | s :: _ -> (
       (match s.b.cancel_on with
       | Some t when !t -> raise (Killed Cancelled)
       | _ -> ());
       (match s.b.sim_io_ms with
-      | Some limit when io_now_ms () -. s.io_start_ms > limit ->
+      | Some limit when io_spent s > limit ->
           raise (Killed (Budget_exceeded Sim_io))
       | _ -> ());
       (match s.b.wall_ms with
-      | Some limit
-        when (Unix.gettimeofday () -. s.wall_start) *. 1000.0 > limit ->
+      | Some limit when wall_spent s > limit ->
           raise (Killed (Budget_exceeded Wall_clock))
       | _ -> ());
       match s.b.max_rows with
@@ -147,14 +223,15 @@ let recheck () =
       | _ -> ())
 
 let add_rows n =
-  match !current with
-  | None -> ()
-  | Some s -> (
+  (match !stack with
+  | [] -> ()
+  | s :: _ -> (
       s.rows <- s.rows + n;
       match s.b.max_rows with
       | Some limit when s.rows > limit ->
           raise (Killed (Budget_exceeded Rows))
-      | _ -> ())
+      | _ -> ()));
+  maybe_yield ()
 
 (* ---------- spend accounting ---------- *)
 
@@ -165,41 +242,31 @@ let last = ref zero_spend
 let last_spend () = !last
 
 let with_budget b f =
-  let saved = !current in
+  let saved = !stack in
   let s = install b in
-  current := Some s;
+  stack := s :: saved;
   Fun.protect
     ~finally:(fun () ->
-      current := saved;
-      last :=
-        {
-          wall_ms = (Unix.gettimeofday () -. s.wall_start) *. 1000.0;
-          sim_io_ms = io_now_ms () -. s.io_start_ms;
-          rows = s.rows;
-        };
+      let wall = wall_spent s and io = io_spent s in
+      stack := saved;
+      last := { wall_ms = wall; sim_io_ms = io; rows = s.rows };
       (* rows materialized inside also count against the enclosing
          budget (without re-raising during unwind: the next enclosing
          add_rows/tick surfaces the overrun) *)
       match saved with
-      | Some outer -> outer.rows <- outer.rows + s.rows
-      | None -> ())
+      | outer :: _ -> outer.rows <- outer.rows + s.rows
+      | [] -> ())
     f
 
 let remaining () =
-  match !current with
-  | None -> unlimited
-  | Some s ->
+  match !stack with
+  | [] -> unlimited
+  | s :: _ ->
       {
         wall_ms =
-          Option.map
-            (fun l ->
-              Float.max 0.0
-                (l -. ((Unix.gettimeofday () -. s.wall_start) *. 1000.0)))
-            s.b.wall_ms;
+          Option.map (fun l -> Float.max 0.0 (l -. wall_spent s)) s.b.wall_ms;
         sim_io_ms =
-          Option.map
-            (fun l -> Float.max 0.0 (l -. (io_now_ms () -. s.io_start_ms)))
-            s.b.sim_io_ms;
+          Option.map (fun l -> Float.max 0.0 (l -. io_spent s)) s.b.sim_io_ms;
         max_rows = Option.map (fun l -> Int.max 0 (l - s.rows)) s.b.max_rows;
         cancel_on = s.b.cancel_on;
       }

@@ -103,15 +103,67 @@ val remaining : unit -> budget
     token, so a sub-budget derived from it stays cancellable. *)
 
 val tick : unit -> unit
-(** The evaluator checkpoint: free when no budget is installed;
-    otherwise checks cancellation and the simulated-I/O limit every
-    call, and the wall clock every 32nd call.
+(** The evaluator checkpoint: checks cancellation and the
+    simulated-I/O limit every call and the wall clock every 32nd call
+    (cheap when no budget is installed), then gives the registered
+    yield hook (if any) the chance to suspend the running scheduler
+    task.
     @raise Killed when a limit is crossed. *)
 
 val add_rows : int -> unit
 (** Count intermediate-result rows against the active (and any
-    enclosing) budget.
+    enclosing) budget, then offer the yield hook a switch point, like
+    {!tick}.
     @raise Killed when the row limit is crossed. *)
+
+(** {1 Scheduler integration}
+
+    The cooperative scheduler ([nra.server]) runs each statement as a
+    resumable task.  Checkpoints are its switch points: {!tick} and
+    {!add_rows} call the registered {e yield hook} after their budget
+    checks, and the hook — which lives in the scheduler, where the
+    effect handler is — decides whether the task's quantum has expired
+    and suspends it.  Because a task is descheduled mid-statement, its
+    budget scopes cannot measure consumption against fixed start marks:
+    {!save_ctx} folds the running slice into each scope's accumulator
+    and detaches the scope stack, {!restore_ctx} reattaches it and
+    rebases, so a statement is only ever charged for wall-clock and
+    simulated-I/O that passed while it was actually scheduled. *)
+
+val set_yield_hook : (unit -> unit) option -> unit
+(** Register (or clear) the checkpoint yield hook.  Global, like the
+    rest of the guard; the scheduler saves and restores the previous
+    hook around its run loop. *)
+
+val with_no_yield : (unit -> 'a) -> 'a
+(** Run the thunk with the yield hook suppressed (nestable): a
+    scheduler critical section.  Used where interleaving would break an
+    invariant that PR 2 established under serial execution — Auto's
+    killable attempt (its {!Nra_storage.Iosim} rollback must not erase
+    charges a concurrent statement accrued mid-attempt) and DML's
+    read-validate-commit (single-writer atomicity). *)
+
+val yields_suppressed : unit -> bool
+(** True inside {!with_no_yield}.  The scheduler's backoff sleeper
+    consults this: a fault retry inside a critical section must wait
+    virtually without suspending the task. *)
+
+type ctx
+(** A task's detached guard context: its whole stack of budget scopes
+    with accruals folded. *)
+
+val empty_ctx : ctx
+(** The context of a task that has not started yet (no scopes). *)
+
+val save_ctx : unit -> ctx
+(** Fold the running slice into every active scope, detach and return
+    the scope stack, leaving no budget installed.  Called by the
+    scheduler when a task suspends (and around its own run loop, to
+    shield the host's ambient budget from the tasks'). *)
+
+val restore_ctx : ctx -> unit
+(** Reattach a detached context and rebase its slices to "now" on both
+    clocks.  Called when a task is scheduled in. *)
 
 val recheck : unit -> unit
 (** An immediate, unconditional check of {e every} limit of the active

@@ -7,6 +7,8 @@ type config = {
   session_sim_io_ms : float option;
   session_rows : int option;
   strategy : Nra.strategy;
+  quantum_ms : float;
+  urgent_ms : float;
 }
 
 let default_config =
@@ -17,6 +19,8 @@ let default_config =
     session_sim_io_ms = None;
     session_rows = None;
     strategy = Nra.Auto;
+    quantum_ms = Scheduler.default_quantum_ms;
+    urgent_ms = 5.0;
   }
 
 type outcome = {
@@ -43,9 +47,10 @@ type t = {
   cfg : config;
   pc : Plan_cache.t;
   adm : pending Admission.t;
-  mutable clock : float;
-  mutable inflight : float list;  (* virtual completion times of slot holders *)
-  mutable completed : outcome list;  (* newest first; reversed by [drain] *)
+  sched : Scheduler.t;
+  (* (statement id, outcome); newest first, reversed by [drain];
+     id 0 marks outcomes of statements that never got a task *)
+  mutable completed : (int * outcome) list;
 }
 
 let hook_registered = ref false
@@ -60,15 +65,15 @@ let create ?(config = default_config) cat =
     cfg = config;
     pc = Plan_cache.create ~capacity:config.cache_capacity cat;
     adm = Admission.create config.admission;
-    clock = 0.0;
-    inflight = [];
+    sched = Scheduler.create ~quantum_ms:config.quantum_ms ();
     completed = [];
   }
 
 let catalog t = t.cat
 let config t = t.cfg
 let cache t = t.pc
-let now t = t.clock
+let scheduler t = t.sched
+let now t = Scheduler.now t.sched
 let admission_stats t = Admission.stats t.adm
 
 let session t ?label ?wall_ms ?sim_io_ms ?rows () =
@@ -79,35 +84,7 @@ let session t ?label ?wall_ms ?sim_io_ms ?rows () =
     ?rows:(pick rows t.cfg.session_rows)
     ()
 
-(* Execute one statement whose slot starts at [start].  Host-synchronous;
-   its virtual duration is the simulated I/O it consumed. *)
-let run_pending t p ~start =
-  let guard =
-    let base = Session.remaining p.pd_session in
-    match p.pd_guard with
-    | None -> base
-    (* override first: its cancel token (the REPL's SIGINT token)
-       governs the statement; limits are element-wise min either way *)
-    | Some g -> Guard.min_budget g base
-  in
-  let result, spend =
-    match Plan_cache.find_or_prepare t.pc ~strategy:t.cfg.strategy p.pd_sql with
-    | Error _ as e -> (e, { Guard.wall_ms = 0.0; sim_io_ms = 0.0; rows = 0 })
-    | Ok prep ->
-        let r = Nra.run_prepared ~guard t.cat prep in
-        (r, Guard.last_spend ())
-  in
-  Session.charge p.pd_session spend;
-  let done_at = start +. spend.Guard.sim_io_ms in
-  t.inflight <- done_at :: t.inflight;
-  {
-    session_id = Session.id p.pd_session;
-    sql = p.pd_sql;
-    submitted_at = p.pd_submitted;
-    started_at = Some start;
-    finished_at = done_at;
-    result;
-  }
+let complete t id o = t.completed <- (id, o) :: t.completed
 
 let timeout_outcome (w : pending Admission.waiter) =
   {
@@ -120,98 +97,142 @@ let timeout_outcome (w : pending Admission.waiter) =
       Error (Nra.Exec_error.Queue_timeout { waited_ms = w.at -. w.enqueued_at });
   }
 
-let complete t o = t.completed <- o :: t.completed
+(* Budget-aware priority: a statement whose session is nearly out of
+   simulated-I/O allowance runs ahead of bulk work, so it can finish
+   (or be killed by the guard) instead of queueing behind statements
+   with time to spare.  Re-read by the scheduler at every switch. *)
+let priority t p () =
+  match (Session.remaining p.pd_session).Guard.sim_io_ms with
+  | Some left when left <= t.cfg.urgent_ms -> 0
+  | _ -> 1
 
-let rec remove_one x = function
-  | [] -> []
-  | y :: rest -> if y = x then rest else y :: remove_one x rest
-
-(* Retire every in-flight statement completing by [upto], oldest first.
-   Each retirement frees a slot, which may time out stale waiters and
-   promote (and run) the head waiter — whose own completion re-enters
-   the in-flight set and is retired in turn if it also falls by [upto]. *)
-let rec retire_until t ~upto =
-  match t.inflight with
-  | [] -> ()
-  | l ->
-      let m = List.fold_left Float.min infinity l in
-      if m > upto then ()
-      else begin
-        t.inflight <- remove_one m l;
-        let expired, promoted = Admission.release t.adm ~now:m in
-        List.iter (fun w -> complete t (timeout_outcome w)) expired;
-        (match promoted with
+(* Spawn one admitted statement as a scheduler task whose slot starts
+   at [start].  The task interleaves with every other in-flight
+   statement at the guard checkpoints; when it finishes it frees its
+   admission slot, which may expire stale waiters and promote (spawn)
+   the head waiter.  The outcome is tagged with the task id so a serial
+   caller ({!exec}) can claim exactly its own. *)
+let rec spawn_stmt t p ~start =
+  let id = ref 0 in
+  id :=
+    Scheduler.spawn t.sched ~prio:(priority t p)
+      ~label:(Printf.sprintf "s%d" (Session.id p.pd_session))
+      (fun () ->
+        let guard =
+          let base = Session.remaining p.pd_session in
+          match p.pd_guard with
+          | None -> base
+          (* override first: its cancel token (the REPL's SIGINT token)
+             governs the statement; limits are element-wise min either
+             way *)
+          | Some g -> Guard.min_budget g base
+        in
+        let result, spend =
+          match
+            Plan_cache.find_or_prepare t.pc ~strategy:t.cfg.strategy p.pd_sql
+          with
+          | Error _ as e ->
+              (e, { Guard.wall_ms = 0.0; sim_io_ms = 0.0; rows = 0 })
+          | Ok prep ->
+              let run () = Nra.run_prepared ~guard t.cat prep in
+              let r =
+                (* DML / WITH / ANALYZE mutate shared state between
+                   their read and commit points: single-writer atomicity
+                   needs them to run without interleaving *)
+                if Nra.prepared_is_query prep then run ()
+                else Guard.with_no_yield run
+              in
+              (r, Guard.last_spend ())
+        in
+        Session.charge p.pd_session spend;
+        let done_at = Scheduler.now t.sched in
+        complete t !id
+          {
+            session_id = Session.id p.pd_session;
+            sql = p.pd_sql;
+            submitted_at = p.pd_submitted;
+            started_at = Some start;
+            finished_at = done_at;
+            result;
+          };
+        let expired, promoted = Admission.release t.adm ~now:done_at in
+        List.iter (fun w -> complete t 0 (timeout_outcome w)) expired;
+        match promoted with
         | Some (w : pending Admission.waiter) ->
-            complete t (run_pending t w.payload ~start:w.at)
+            ignore (spawn_stmt t w.payload ~start:w.at)
         | None -> ());
-        retire_until t ~upto
-      end
+  !id
 
-let rejected session sql ~at msg =
+let rejected session sql ~arrived ~at msg =
   {
     session_id = Session.id session;
     sql;
-    submitted_at = at;
+    submitted_at = arrived;
     started_at = None;
     finished_at = at;
     result = Error (Nra.Exec_error.Rejected msg);
   }
 
 let submit t ?at ?guard session sql =
-  let at =
-    match at with None -> t.clock | Some a -> Float.max a t.clock
+  (* the statement arrived when the caller says it did, even if the
+     clock has already been driven past that instant by an in-flight
+     slice — scheduling uses the clamped time, but latency is measured
+     from the arrival, so time spent behind a long statement is not
+     silently erased (the open-loop / coordinated-omission rule) *)
+  let arrived =
+    match at with None -> Scheduler.now t.sched | Some a -> a
   in
-  t.clock <- at;
-  retire_until t ~upto:at;
+  let at = Float.max arrived (Scheduler.now t.sched) in
+  (* bring the in-flight statements up to the arrival: slices run (and
+     complete, freeing slots and promoting waiters) until the virtual
+     clock reaches [at] *)
+  Scheduler.advance_to t.sched at;
   List.iter
-    (fun w -> complete t (timeout_outcome w))
+    (fun w -> complete t 0 (timeout_outcome w))
     (Admission.expire t.adm ~now:at);
   if Session.closed session then
-    `Done (rejected session sql ~at "session closed")
+    `Done (rejected session sql ~arrived ~at "session closed")
   else
     let p =
       { pd_session = session; pd_sql = sql; pd_guard = guard;
-        pd_submitted = at }
+        pd_submitted = arrived }
     in
     match Admission.submit t.adm ~now:at p with
-    | `Admitted -> `Done (run_pending t p ~start:at)
+    | `Admitted -> `Running (spawn_stmt t p ~start:at)
     | `Queued -> `Queued
-    | `Rejected_full -> `Done (rejected session sql ~at "admission queue full")
+    | `Rejected_full ->
+        `Done (rejected session sql ~arrived ~at "admission queue full")
 
 let drain t =
-  let l = List.rev t.completed in
+  let l = List.rev_map snd t.completed in
   t.completed <- [];
   l
 
-let rec finish t =
-  match t.inflight with
-  | [] ->
-      (* no slot holder left; anything still queued can only time out *)
-      List.iter
-        (fun w -> complete t (timeout_outcome w))
-        (Admission.expire t.adm ~now:infinity);
-      drain t
-  | l ->
-      let m = List.fold_left Float.min infinity l in
-      t.clock <- Float.max t.clock m;
-      retire_until t ~upto:m;
-      finish t
-
-(* Advance time until everything in flight has retired: a serial client
-   issues its next statement after the previous one completed. *)
-let rec await_idle t =
-  match t.inflight with
-  | [] -> ()
-  | l ->
-      let m = List.fold_left Float.min infinity l in
-      t.clock <- Float.max t.clock m;
-      retire_until t ~upto:m;
-      await_idle t
+let finish t =
+  Scheduler.run_until_idle t.sched;
+  (* nothing left in flight: anything still queued can only time out *)
+  List.iter
+    (fun w -> complete t 0 (timeout_outcome w))
+    (Admission.expire t.adm ~now:infinity);
+  drain t
 
 let exec t ?guard session sql =
-  await_idle t;
+  (* the serial client issues its next statement after everything
+     before it has completed *)
+  Scheduler.run_until_idle t.sched;
   match submit t ?guard session sql with
   | `Done o -> o.result
+  | `Running id -> (
+      Scheduler.run_until_idle t.sched;
+      (* claim this statement's outcome, leaving any concurrent
+         completions for [drain] *)
+      let mine, rest =
+        List.partition (fun (i, _) -> i = id) t.completed
+      in
+      t.completed <- rest;
+      match mine with
+      | [ (_, o) ] -> o.result
+      | _ -> assert false)
   | `Queued ->
       (* a free slot was just ensured, so admission cannot queue us *)
       assert false
@@ -222,18 +243,19 @@ let close_session t s =
   in
   List.iter
     (fun p ->
-      complete t
+      complete t 0
         {
           session_id = Session.id p.pd_session;
           sql = p.pd_sql;
           submitted_at = p.pd_submitted;
           started_at = None;
-          finished_at = t.clock;
+          finished_at = Scheduler.now t.sched;
           result = Error Nra.Exec_error.Cancelled;
         })
     flushed;
   Session.close s
 
 let report t s =
-  Format.asprintf "@[<v>%a@,%a@,%a@]" Session.pp s Admission.pp_stats
+  Format.asprintf "@[<v>%a@,%a@,%a@,%a@]" Session.pp s Admission.pp_stats
     (Admission.stats t.adm) Plan_cache.pp_stats (Plan_cache.stats t.pc)
+    Scheduler.pp_stats (Scheduler.stats t.sched)

@@ -103,10 +103,15 @@ let alloc_should_fail () =
        true
      end
 
-(* The backoff sleeper is pluggable: a server scheduler substitutes a
-   yield (or a virtual-clock advance) so retries never block the
-   process; tests substitute a recorder and run without real sleeps. *)
-let default_sleeper ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+(* The backoff sleeper is pluggable.  The default waits out the backoff
+   in NO time at all: backoff is an I/O-scheduling delay, and this
+   engine's time is simulated — a real [Unix.sleepf] here (the PR 2
+   behavior) blocked the whole process for every retry storm.  The
+   cooperative scheduler substitutes a sleeper that suspends only the
+   retrying task until the virtual clock passes the backoff, so
+   concurrent statements keep the (virtual) disk busy meanwhile; the
+   cumulative pause is always recorded in [backoff_ms_total]. *)
+let default_sleeper (_ms : float) = ()
 let sleeper = ref default_sleeper
 let set_sleeper f = sleeper := f
 

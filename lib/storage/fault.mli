@@ -32,10 +32,9 @@ type config = {
   seed : int;  (** PRNG seed; same seed + same read sequence = same faults *)
   max_retries : int;  (** attempts beyond the first in {!with_retries} *)
   backoff_ms : float;
-      (** base backoff; attempt [k] sleeps [backoff_ms * 2^k] through
-          the pluggable {!set_sleeper} (real wall-clock by default, but
-          small enough that a full test run under injection stays
-          fast). *)
+      (** base backoff; attempt [k] waits out [backoff_ms * 2^k]
+          through the pluggable {!set_sleeper} (a virtual pause by
+          default: recorded, never slept in real time). *)
   alloc_probability : float;
       (** per-intermediate-materialization probability of an
           allocation-pressure fault (see {!alloc_should_fail}) *)
@@ -86,12 +85,17 @@ val alloc_should_fail : unit -> bool
 
 val set_sleeper : (float -> unit) -> unit
 (** Replace how {!with_retries} waits out a backoff (argument in
-    milliseconds).  A server scheduler substitutes a yield or a
-    virtual-clock advance so retries never block the process; tests
-    substitute a recorder and run without real sleeps. *)
+    milliseconds).  The cooperative scheduler ([nra.server])
+    substitutes a virtual-clock sleep that suspends only the retrying
+    task — concurrent statements make progress during the backoff and
+    no real wall-clock time passes; tests substitute a recorder. *)
 
 val default_sleeper : float -> unit
-(** The initial sleeper: a real [Unix.sleepf]. *)
+(** The initial sleeper: a no-op — the pause is accounted in
+    {!stats}.[backoff_ms_total] but never slept in real time.  (The
+    old real-time [Unix.sleepf] path is gone: it blocked the whole
+    process, which a server serving concurrent sessions cannot
+    afford.) *)
 
 type stats = {
   injected : int;  (** faults raised by {!inject} *)

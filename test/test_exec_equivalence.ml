@@ -7,101 +7,10 @@
 open Nra
 open Test_support
 
-let corpus_emp_dept =
-  [
-    (* flat *)
-    "select ename, salary from emp where salary >= 60";
-    "select * from emp, dept where emp.dept_id = dept.dept_id";
-    (* EXISTS / NOT EXISTS, correlated *)
-    "select dname from dept where exists (select * from emp where \
-     emp.dept_id = dept.dept_id)";
-    "select dname from dept where not exists (select * from emp where \
-     emp.dept_id = dept.dept_id)";
-    (* IN / NOT IN *)
-    "select ename from emp where dept_id in (select dept_id from dept where \
-     budget > 40)";
-    "select ename from emp where dept_id not in (select dept_id from dept \
-     where budget > 40)";
-    (* quantified comparisons, correlated and not *)
-    "select ename from emp where salary > all (select budget from dept)";
-    "select ename from emp where salary > any (select budget from dept)";
-    "select dname from dept where budget < all (select salary from emp \
-     where emp.dept_id = dept.dept_id)";
-    "select dname from dept where budget <> some (select salary from emp \
-     where emp.dept_id = dept.dept_id)";
-    (* uncorrelated EXISTS (constant truth value) *)
-    "select ename from emp where exists (select * from dept where budget > \
-     90)";
-    "select ename from emp where not exists (select * from dept where \
-     budget > 1000)";
-    (* two-level linear *)
-    "select dname from dept where budget < any (select salary from emp \
-     where emp.dept_id = dept.dept_id and exists (select * from project \
-     where project.lead_emp = emp.emp_id))";
-    "select dname from dept where budget <= all (select salary from emp \
-     where emp.dept_id = dept.dept_id and not exists (select * from project \
-     where project.lead_emp = emp.emp_id))";
-    (* two-level with non-adjacent correlation (tree-expression graph) *)
-    "select dname from dept where budget < any (select salary from emp \
-     where emp.dept_id = dept.dept_id and exists (select * from project \
-     where project.owner_dept = dept.dept_id and project.lead_emp = \
-     emp.emp_id))";
-    (* tree query: two subqueries in one block, mixed signs *)
-    "select dname from dept where exists (select * from emp where \
-     emp.dept_id = dept.dept_id) and budget not in (select hours from \
-     project where project.owner_dept = dept.dept_id)";
-    "select dname from dept where not exists (select * from emp where \
-     emp.dept_id = dept.dept_id and salary > 75) and budget > some (select \
-     hours from project where project.owner_dept = dept.dept_id)";
-    (* non-equality correlation *)
-    "select dname from dept where budget > all (select hours from project \
-     where project.owner_dept <> dept.dept_id)";
-    (* linking attribute is an expression *)
-    "select ename from emp where salary + 10 in (select budget from dept)";
-    (* linked attribute is an expression *)
-    "select ename from emp where salary in (select budget - 10 from dept \
-     where dept.dept_id = emp.dept_id)";
-    (* self join with correlation *)
-    "select e1.ename from emp e1 where e1.salary >= all (select e2.salary \
-     from emp e2 where e2.dept_id = e1.dept_id)";
-    "select e1.ename from emp e1 where exists (select * from emp e2 where \
-     e2.manager_id = e1.emp_id)";
-    (* multi-table inner block *)
-    "select dname from dept where budget < any (select salary from emp, \
-     project where emp.emp_id = project.lead_emp and project.owner_dept = \
-     dept.dept_id)";
-    (* multi-table outer block *)
-    "select ename, dname from emp, dept where emp.dept_id = dept.dept_id \
-     and salary > all (select hours from project where project.owner_dept = \
-     dept.dept_id)";
-    (* local predicates of every flavor *)
-    "select ename from emp where salary between 50 and 80 and dept_id in \
-     (select dept_id from dept where dname in ('eng', 'hr'))";
-    "select ename from emp where manager_id is null and dept_id is not null";
-    (* scalar subqueries (aggregate and raw) *)
-    "select ename from emp where salary > (select avg(salary) from emp e2 \
-     where e2.dept_id = emp.dept_id)";
-    "select ename from emp where salary < (select max(budget) from dept)";
-    "select ename from emp where dept_id = (select dept_id from dept where \
-     dname = 'eng')";
-    "select ename from emp where salary >= (select count(*) from project)";
-    "select ename from emp where salary - 50 < (select count(hours) from \
-     project where project.lead_emp = emp.emp_id)";
-    (* three levels deep, alternating signs *)
-    "select dname from dept where budget < any (select salary from emp \
-     where emp.dept_id = dept.dept_id and salary > all (select hours from \
-     project where project.lead_emp = emp.emp_id and not exists (select * \
-     from emp e3 where e3.manager_id = emp.emp_id)))";
-    (* NOT over a subquery predicate (normalization) *)
-    "select ename from emp where not (salary in (select budget from dept))";
-    "select dname from dept where not (budget > all (select salary from \
-     emp where emp.dept_id = dept.dept_id))";
-    (* DISTINCT / ORDER BY / LIMIT on top of subqueries *)
-    "select distinct dept_id from emp where dept_id in (select dept_id \
-     from dept)";
-    "select ename from emp where dept_id in (select dept_id from dept) \
-     order by salary desc limit 3";
-  ]
+(* the hand-written corpus lives in Test_support.subquery_corpus: the
+   scheduler suite replays the same queries under randomized
+   interleavings *)
+let corpus_emp_dept = subquery_corpus
 
 let test_corpus () =
   let cat = emp_dept_catalog () in

@@ -1,0 +1,373 @@
+(* The cooperative scheduler (ISSUE: truly interleaved statements on
+   the virtual clock): seeded randomized interleaving-equivalence
+   against serial execution across every strategy, virtual-clock
+   monotonicity, no starvation under random admission bursts,
+   preemption within one quantum of budget exhaustion, and fault-retry
+   backoff as virtual (never wall-clock) time. *)
+
+open Nra
+open Test_support
+module Scheduler = Nra_server.Scheduler
+module Server = Nra_server.Server
+module Session = Nra_server.Session
+module Admission = Nra_server.Admission
+module Iosim = Nra_storage.Iosim
+
+(* splitmix64: the tests' own seeded PRNG, so every schedule is
+   reproducible from its seed alone *)
+let splitmix seed =
+  let s = ref (Int64.of_int (seed * 2 + 1)) in
+  fun bound ->
+    s := Int64.add !s 0x9E3779B97F4A7C15L;
+    let z = !s in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.unsigned_rem z (Int64.of_int bound))
+
+let corpus = Array.of_list subquery_corpus
+
+(* ---------- randomized interleaving equivalence ----------
+
+   N statements spawned as concurrent scheduler tasks, the schedule
+   driven by a seeded random chooser at a seed-dependent quantum: every
+   interleaving must produce exactly the serial results, for every
+   strategy including auto (whose attempt/rollback protocol is the
+   delicate part under interleaving). *)
+
+let total_yields = ref 0
+
+let interleaved_results ~seed ~quantum_ms ~strategy cat sqls =
+  let rand = splitmix seed in
+  let chooser ~now:_ ids = List.nth ids (rand (List.length ids)) in
+  let sch = Scheduler.create ~quantum_ms ~chooser () in
+  let n = Array.length sqls in
+  let results = Array.make n None in
+  Array.iteri
+    (fun i sql ->
+      ignore
+        (Scheduler.spawn sch
+           ~label:(Printf.sprintf "q%d" i)
+           (fun () -> results.(i) <- Some (Nra.query ~strategy cat sql))))
+    sqls;
+  Scheduler.run_until_idle sch;
+  Alcotest.(check int) "all tasks retired" 0 (Scheduler.alive sch);
+  total_yields := !total_yields + (Scheduler.stats sch).Scheduler.yields;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> Alcotest.fail "task finished without a result")
+    results
+
+let check_matches_serial ~what serial interleaved sqls =
+  Array.iteri
+    (fun i sql ->
+      match (serial.(i), interleaved.(i)) with
+      | Ok a, Ok b ->
+          if not (Relation.equal_bag a b) then
+            Alcotest.fail
+              (Format.asprintf
+                 "%s: interleaved result differs from serial on:@.%s@.serial:@.%a@.interleaved:@.%a"
+                 what sql Relation.pp a Relation.pp b)
+      | Error a, Error b -> Alcotest.(check string) (what ^ ": same error") a b
+      | Ok _, Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: interleaved failed where serial ran (%s): %s"
+               what sql e)
+      | Error e, Ok _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s: interleaved ran where serial failed (%s): %s"
+               what sql e))
+    sqls
+
+let test_interleaving_equivalence () =
+  let cat = emp_dept_catalog () in
+  ignore (Nra.exec cat "analyze");
+  let quanta = [| 0.01; 0.05; 0.2 |] in
+  let seeds_per_n = 18 in
+  (* 3 population sizes x 18 seeds = 54 randomized schedules, each
+     replayed under every strategy *)
+  List.iter
+    (fun n ->
+      for seed = 0 to seeds_per_n - 1 do
+        let sqls =
+          Array.init n (fun k ->
+              corpus.(((seed * 7) + (k * 5)) mod Array.length corpus))
+        in
+        let quantum_ms = quanta.(seed mod Array.length quanta) in
+        List.iter
+          (fun strategy ->
+            let serial = Array.map (Nra.query ~strategy cat) sqls in
+            let interleaved =
+              interleaved_results ~seed ~quantum_ms ~strategy cat sqls
+            in
+            check_matches_serial
+              ~what:
+                (Printf.sprintf "n=%d seed=%d q=%g %s" n seed quantum_ms
+                   (Nra.strategy_to_string strategy))
+              serial interleaved sqls)
+          all_strategies
+      done)
+    [ 2; 4; 8 ];
+  (* the whole point is that these schedules are NOT serial *)
+  Alcotest.(check bool)
+    (Printf.sprintf "schedules interleaved (%d yields)" !total_yields)
+    true (!total_yields > 0)
+
+(* ---------- virtual-clock monotonicity ---------- *)
+
+let test_clock_monotone () =
+  let cat = emp_dept_catalog () in
+  let rand = splitmix 424242 in
+  let nows = ref [] in
+  let chooser ~now ids =
+    nows := now :: !nows;
+    List.nth ids (rand (List.length ids))
+  in
+  let sch = Scheduler.create ~quantum_ms:0.02 ~chooser () in
+  for i = 0 to 5 do
+    ignore
+      (Scheduler.spawn sch (fun () ->
+           ignore (Nra.query cat corpus.(i * 3 mod Array.length corpus))))
+  done;
+  (* a sleeper too: wake-time jumps must also be monotone *)
+  ignore
+    (Scheduler.spawn sch (fun () ->
+         try
+           Nra.Fault.with_retries (fun () ->
+               raise (Nra.Fault.Io_fault "synthetic"))
+         with Nra.Fault.Io_fault _ -> ()));
+  Scheduler.run_until_idle sch;
+  let observed = List.rev !nows in
+  Alcotest.(check bool) "scheduling points observed" true
+    (List.length observed > 10);
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        if a > b then
+          Alcotest.fail
+            (Printf.sprintf "clock went backwards: %f then %f" a b)
+        else monotone rest
+    | _ -> ()
+  in
+  monotone observed;
+  Alcotest.(check bool) "final clock past every scheduling point" true
+    (Scheduler.now sch >= List.fold_left Float.max 0.0 observed)
+
+(* ---------- no starvation under random admission bursts ---------- *)
+
+let test_no_starvation () =
+  let cat = emp_dept_catalog () in
+  for seed = 0 to 9 do
+    let rand = splitmix (1000 + seed) in
+    let srv =
+      Server.create
+        ~config:
+          {
+            Server.default_config with
+            admission =
+              {
+                Admission.max_concurrent = 3;
+                queue_len = 10;
+                queue_timeout_ms = Some 1e9;
+              };
+            quantum_ms = 0.05;
+          }
+        cat
+    in
+    let sessions = Array.init 4 (fun _ -> Server.session srv ()) in
+    let submitted = ref 0 and immediate = ref 0 in
+    let t = ref 0.0 in
+    for _ = 1 to 30 do
+      (* bursty: arrival gaps of 0 pile statements onto the same instant *)
+      t := !t +. (float_of_int (rand 3) *. 0.05);
+      incr submitted;
+      match
+        Server.submit srv ~at:!t
+          sessions.(rand (Array.length sessions))
+          corpus.(rand (Array.length corpus))
+      with
+      | `Done _ -> incr immediate
+      | `Running _ | `Queued -> ()
+    done;
+    let late = Server.finish srv in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every statement reached an outcome" seed)
+      !submitted
+      (!immediate + List.length late);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: no task left behind" seed)
+      0
+      (Scheduler.alive (Server.scheduler srv))
+  done
+
+(* ---------- preemption within one quantum of exhaustion ----------
+
+   Synthetic tasks with controlled charges (one 0.1 ms page per step)
+   pin down the bound exactly: a task whose budget trips mid-quantum is
+   killed at its next checkpoint, so its recorded spend can overshoot
+   the limit by at most one charge — and never by a whole quantum of
+   someone else's work, because suspended tasks accrue nothing. *)
+
+let test_preemption_within_quantum () =
+  (* this test pins exact charge accounting with raw Iosim calls (no
+     retry wrapper), so a CI-wide NRA_FAULT_INJECT run must not perturb
+     it *)
+  Nra.Fault.disable ();
+  let quantum = 0.5 in
+  let charge_ms = 0.1 in
+  let limit = 1.0 in
+  let sch = Scheduler.create ~quantum_ms:quantum () in
+  let victim_spend = ref nan and victim_killed = ref false in
+  ignore
+    (Scheduler.spawn sch ~label:"victim" (fun () ->
+         (try
+            Guard.with_budget
+              (Guard.budget ~sim_io_ms:limit ())
+              (fun () ->
+                while true do
+                  Iosim.charge_scan_rows 100;
+                  Guard.tick ()
+                done)
+          with Guard.Killed (Guard.Budget_exceeded Guard.Sim_io) ->
+            victim_killed := true);
+         victim_spend := (Guard.last_spend ()).Guard.sim_io_ms));
+  (* concurrent bulk work: its charges must not count against (or
+     delay the kill of) the victim *)
+  ignore
+    (Scheduler.spawn sch ~label:"bulk" (fun () ->
+         for _ = 1 to 200 do
+           Iosim.charge_scan_rows 100;
+           Guard.tick ()
+         done));
+  Scheduler.run_until_idle sch;
+  Alcotest.(check bool) "victim killed on budget" true !victim_killed;
+  Alcotest.(check bool)
+    (Printf.sprintf "spend %f exceeds the limit" !victim_spend)
+    true
+    (!victim_spend > limit);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "overshoot %f bounded by one charge, far inside one quantum"
+       (!victim_spend -. limit))
+    true
+    (!victim_spend -. limit <= charge_ms +. 1e-9);
+  let st = Scheduler.stats sch in
+  Alcotest.(check bool) "the schedule actually interleaved" true
+    (st.Scheduler.yields > 0)
+
+(* ---------- fault-retry backoff is virtual time ---------- *)
+
+let test_backoff_virtual () =
+  let backoff = 50.0 in
+  let retries = 6 in
+  (* probability 0: no injection on real read paths; with_retries still
+     retries the synthetic fault below and sleeps the backoff *)
+  Nra.Fault.configure ~seed:1 ~max_retries:retries ~backoff_ms:backoff 0.0;
+  Fun.protect ~finally:Nra.Fault.disable @@ fun () ->
+  let bt0 = (Nra.Fault.stats ()).Nra.Fault.backoff_ms_total in
+  let cat = emp_dept_catalog () in
+  let sch = Scheduler.create ~quantum_ms:0.05 () in
+  let sleeper_done = ref nan and query_done = ref nan in
+  let escaped = ref false in
+  ignore
+    (Scheduler.spawn sch ~label:"retry-storm" (fun () ->
+         (try
+            Nra.Fault.with_retries (fun () ->
+                raise (Nra.Fault.Io_fault "synthetic"))
+          with Nra.Fault.Io_fault _ -> escaped := true);
+         sleeper_done := Scheduler.now sch));
+  ignore
+    (Scheduler.spawn sch ~label:"concurrent-query" (fun () ->
+         ignore (Nra.query cat corpus.(4));
+         query_done := Scheduler.now sch));
+  let host_t0 = Unix.gettimeofday () in
+  Scheduler.run_until_idle sch;
+  let host_s = Unix.gettimeofday () -. host_t0 in
+  (* a 6-retry exponential storm at 50 ms base = 3150 ms of virtual
+     backoff; the host must not have slept it *)
+  let total = (Nra.Fault.stats ()).Nra.Fault.backoff_ms_total -. bt0 in
+  Alcotest.(check bool) "the storm exhausted its retries" true !escaped;
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff accounted (%.0f ms)" total)
+    true
+    (total >= backoff *. 63.0 -. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "virtual clock slept it (%.0f ms)" !sleeper_done)
+    true
+    (!sleeper_done >= total -. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "host did not (%.3f s)" host_s)
+    true (host_s < 1.0);
+  (* the concurrent statement finished while the storm was asleep *)
+  Alcotest.(check bool)
+    (Printf.sprintf "concurrent progress (query %.2f ms, storm %.2f ms)"
+       !query_done !sleeper_done)
+    true
+    (!query_done < !sleeper_done);
+  let st = Scheduler.stats sch in
+  Alcotest.(check bool) "sleeps were taken as suspensions" true
+    (st.Scheduler.sleeps >= retries);
+  Alcotest.(check bool) "idle gaps were jumped, not slept" true
+    (st.Scheduler.idle_jumped_ms > 0.0)
+
+(* ---------- determinism: same seed, same schedule ---------- *)
+
+let test_deterministic_replay () =
+  (* replay pins the exact schedule; a seeded global fault trace would
+     diverge between the two runs (draws are consumed in sequence), so
+     opt out of a CI-wide NRA_FAULT_INJECT *)
+  Nra.Fault.disable ();
+  let cat = emp_dept_catalog () in
+  let run () =
+    (* start from a cold page cache both times: cache warmth changes
+       charge granularity, and with it the schedule *)
+    Iosim.reset ();
+    let sch = Scheduler.create ~quantum_ms:0.05 () in
+    let order = ref [] in
+    for i = 0 to 4 do
+      ignore
+        (Scheduler.spawn sch
+           ~label:(Printf.sprintf "q%d" i)
+           (fun () ->
+             ignore (Nra.query cat corpus.(i));
+             order := i :: !order))
+    done;
+    Scheduler.run_until_idle sch;
+    (List.rev !order, (Scheduler.stats sch).Scheduler.slices)
+  in
+  let o1, s1 = run () in
+  let o2, s2 = run () in
+  Alcotest.(check (list int)) "same completion order" o1 o2;
+  Alcotest.(check int) "same slice count" s1 s2
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "randomized interleavings match serial" `Quick
+            test_interleaving_equivalence;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "virtual clock is monotone" `Quick
+            test_clock_monotone;
+          Alcotest.test_case "no starvation under bursts" `Quick
+            test_no_starvation;
+          Alcotest.test_case "preemption within one quantum" `Quick
+            test_preemption_within_quantum;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "retry backoff is virtual time" `Quick
+            test_backoff_virtual;
+        ] );
+    ]
