@@ -7,6 +7,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --figure 6   # one figure
      dune exec bench/main.exe -- --scale 0.02 --no-micro --no-ablation
+     dune exec bench/main.exe -- --domains-sweep --scale 0.02
+                                              # parallel-kernel speedups
+                                              # only, to BENCH_parallel.json
 
    Two costs are reported per run:
    - cpu(s): measured wall-clock of the in-memory OCaml engine;
@@ -26,11 +29,12 @@ let selected_figures : int list ref = ref []
 let run_micro = ref true
 let run_ablation = ref true
 let run_full = ref false
+let run_domains_sweep = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [--figure N]... [--scale S] [--full] [--no-micro] \
-     [--no-ablation]";
+     [--no-ablation] [--domains-sweep]";
   exit 2
 
 let () =
@@ -54,6 +58,9 @@ let () =
         parse rest
     | "--no-ablation" :: rest ->
         run_ablation := false;
+        parse rest
+    | "--domains-sweep" :: rest ->
+        run_domains_sweep := true;
         parse rest
     | _ -> usage ()
   in
@@ -514,9 +521,118 @@ let micro () =
       | _ -> Printf.printf "  %-34s (no estimate)\n" name)
     (List.sort compare names)
 
+(* ---------- domains sweep ----------
+
+   The three parallel kernels (partitioned hash join, parallel nest,
+   morsel filter) timed at pool sizes 0/1/2/4 against the serial
+   baseline, with a bit-identity check per point; results land in
+   BENCH_parallel.json.  The host core count goes into the JSON too:
+   wall-clock speedup is bounded by the physical cores, not the domain
+   count, so single-core CI still produces an honest (flat) curve. *)
+
+let domains_sweep () =
+  let open Nra in
+  header "Domains sweep"
+    "parallel kernels vs the serial baseline (bit-identity checked)";
+  let lineitem = Table.relation (Catalog.table cat "lineitem") in
+  let orders = Table.relation (Catalog.table cat "orders") in
+  let li_schema = Relation.schema lineitem in
+  let o_schema = Relation.schema orders in
+  let okey = Schema.find o_schema ~table:"orders" "o_orderkey" in
+  let lkey = Schema.find li_schema ~table:"lineitem" "l_orderkey" in
+  let join_on =
+    Expr.Cmp
+      ( Three_valued.Eq,
+        Expr.Col okey,
+        Expr.Col (Schema.arity o_schema + lkey) )
+  in
+  let by = Array.init (Schema.arity o_schema) Fun.id in
+  let keep =
+    [| Schema.arity o_schema + lkey; Schema.arity o_schema + lkey |]
+  in
+  let filter_on =
+    Expr.Cmp (Three_valued.Gt, Expr.Col lkey, Expr.Const (Value.Int 100))
+  in
+  let join () = Algebra.Join.join Algebra.Join.Inner ~on:join_on orders lineitem in
+  let wide = join () in
+  let nest () = Nested.Grouped.nest_hash ~by ~keep wide in
+  let filter () = Algebra.Basic.select filter_on lineitem in
+  (* best-of-3 after a warm-up: the kernels are sub-second at these
+     scales and we want the speedup curve, not allocator noise *)
+  let time f =
+    ignore (f ());
+    let best = ref infinity in
+    let result = ref (f ()) in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := r
+    done;
+    (!best, !result)
+  in
+  Printf.printf "%8s | %10s %10s %10s | identical\n" "domains" "join(s)"
+    "nest(s)" "filter(s)";
+  let baseline = ref None in
+  let points =
+    List.map
+      (fun d ->
+        Pool.set_size d;
+        let tj, rj = time join in
+        let tn, rn = time nest in
+        let tf, rf = time filter in
+        let identical =
+          match !baseline with
+          | None ->
+              baseline := Some (rj, rn, rf);
+              true
+          | Some (bj, bn, bf) ->
+              Relation.rows bj = Relation.rows rj
+              && bn.Nested.Grouped.groups = rn.Nested.Grouped.groups
+              && Relation.rows bf = Relation.rows rf
+        in
+        Printf.printf "%8d | %10.4f %10.4f %10.4f | %b\n%!" d tj tn tf
+          identical;
+        (d, tj, tn, tf, identical))
+      [ 0; 1; 2; 4 ]
+  in
+  Pool.set_size 0;
+  let b0 = List.hd points in
+  let base (_, tj, tn, tf, _) = (tj, tn, tf) in
+  let bj, bn, bf = base b0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"scale\": %g,\n  \"host_cores\": %d,\n  \"note\": \"speedup \
+        = serial_best_of_3 / best_of_3; wall-clock speedup is bounded by \
+        host_cores regardless of the domain count; identity is structural \
+        equality against the domains=0 result\",\n  \"points\": [\n"
+       !scale
+       (Domain.recommended_domain_count ()));
+  List.iteri
+    (fun i (d, tj, tn, tf, identical) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"join_s\": %.6f, \"nest_s\": %.6f, \
+            \"filter_s\": %.6f, \"join_speedup\": %.3f, \"nest_speedup\": \
+            %.3f, \"filter_speedup\": %.3f, \"identical\": %b}"
+           d tj tn tf (bj /. tj) (bn /. tn) (bf /. tf) identical))
+    points;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
+
 (* ---------- main ---------- *)
 
 let () =
+  if !run_domains_sweep then begin
+    domains_sweep ();
+    exit 0
+  end;
   if wanted 4 then figure4 ();
   if wanted 5 then figure5 ();
   if wanted 6 then figure6 ();

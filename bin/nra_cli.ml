@@ -167,6 +167,15 @@ let quantum_ms =
     & opt float Nra_server.Scheduler.default_quantum_ms
     & info [ "quantum-ms" ] ~docv:"MS" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for intra-query parallelism (morsel-driven hash \
+     join, nest, and scan+filter). 0 forces the serial path; the \
+     default is the NRA_DOMAINS environment variable, else the host \
+     core count minus one. Results are bit-identical at every setting."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 (* Run [f] over a budget assembled from the flags, with SIGINT wired to
    the budget's cancel token for the duration (the default Ctrl-C
    behavior is restored afterwards, so a second Ctrl-C at a prompt still
@@ -205,8 +214,9 @@ let print_robustness_report () =
 
 (* ---------- commands ---------- *)
 
-let run_query strategy scale seed null_rate not_null csv timing timeout_ms
-    io_budget_ms max_rows faults fault_seed sql =
+let run_query strategy domains scale seed null_rate not_null csv timing
+    timeout_ms io_budget_ms max_rows faults fault_seed sql =
+  Option.iter Nra_pool.Pool.set_size domains;
   let cat = make_catalog scale seed null_rate not_null in
   (* statistics collection is pure CPU (no Iosim charges), so Auto's
      choice is informed without distorting the reported simulation *)
@@ -255,9 +265,9 @@ let query_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run_query $ strategy $ scale $ seed $ null_rate $ not_null
-       $ csv $ timing $ timeout_ms $ io_budget_ms $ max_rows $ faults
-       $ fault_seed $ sql_arg))
+        (const run_query $ strategy $ domains_arg $ scale $ seed $ null_rate
+       $ not_null $ csv $ timing $ timeout_ms $ io_budget_ms $ max_rows
+       $ faults $ fault_seed $ sql_arg))
 
 let costs =
   let doc =
@@ -338,9 +348,9 @@ let analyze_cmd =
       ret
         (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
-let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
-    max_rows faults fault_seed session_wall_ms session_io_ms session_rows
-    max_concurrent queue_len quantum_ms =
+let run_repl strategy domains scale seed null_rate not_null timeout_ms
+    io_budget_ms max_rows faults fault_seed session_wall_ms session_io_ms
+    session_rows max_concurrent queue_len quantum_ms =
   let cat = make_catalog scale seed null_rate not_null in
   install_faults faults fault_seed;
   let server =
@@ -359,6 +369,7 @@ let run_repl strategy scale seed null_rate not_null timeout_ms io_budget_ms
           session_rows;
           strategy;
           quantum_ms;
+          domains;
         }
       cat
   in
@@ -411,10 +422,10 @@ let repl_cmd =
   in
   Cmd.v info
     Term.(
-      const run_repl $ strategy $ scale $ seed $ null_rate $ not_null
-      $ timeout_ms $ io_budget_ms $ max_rows $ faults $ fault_seed
-      $ session_wall_ms $ session_io_ms $ session_rows $ max_concurrent
-      $ queue_len $ quantum_ms)
+      const run_repl $ strategy $ domains_arg $ scale $ seed $ null_rate
+      $ not_null $ timeout_ms $ io_budget_ms $ max_rows $ faults
+      $ fault_seed $ session_wall_ms $ session_io_ms $ session_rows
+      $ max_concurrent $ queue_len $ quantum_ms)
 
 let main =
   let info =

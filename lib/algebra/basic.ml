@@ -1,6 +1,26 @@
 open Nra_relational
+module Pool = Nra_pool.Pool
 
-let select pred rel = Relation.filter (Expr.holds pred) rel
+(* Scan+filter is the third parallel kernel (after hash join and nest):
+   Exec.Frame funnels every block's local predicates through here.
+   Morsels keep their relative order, so the output row order is the
+   serial one. *)
+let select pred rel =
+  let rows = Relation.rows rel in
+  if not (Pool.use_parallel (Array.length rows)) then
+    Relation.filter (Expr.holds pred) rel
+  else begin
+    let morsels =
+      Pool.parallel_chunks ~n:(Array.length rows) (fun _ledger ~lo ~hi ->
+          let acc = ref [] in
+          for i = lo to hi - 1 do
+            if Expr.holds pred rows.(i) then acc := rows.(i) :: !acc
+          done;
+          List.rev !acc)
+    in
+    Relation.of_rows (Relation.schema rel)
+      (List.concat (Array.to_list morsels))
+  end
 
 let project_cols idxs rel = Relation.project rel idxs
 

@@ -1,4 +1,5 @@
 open Nra_relational
+module Pool = Nra_pool.Pool
 
 type kind = Inner | Left_outer | Semi | Anti
 
@@ -21,20 +22,140 @@ let emit kind ~right_arity lrow matches acc =
   | Semi -> if matches <> [] then lrow :: acc else acc
   | Anti -> if matches = [] then lrow :: acc else acc
 
+(* ---------- nested loop (no equi-conjunct) ---------- *)
+
 let nested_loop kind ~on left right =
+  let left_rows = Relation.rows left in
   let right_rows = Relation.rows right in
   let right_arity = Schema.arity (Relation.schema right) in
+  (* hoisted: one list conversion for the whole join, not one per left
+     row *)
+  let right_list = Array.to_list right_rows in
+  (* a trivially-true predicate (the Cartesian fallback in join-nest
+     fusion) needs no per-pair concat just to test it *)
+  let all_match =
+    match on with Expr.Lit3 Three_valued.True -> true | _ -> false
+  in
+  let matches_of lrow =
+    if all_match then right_list
+    else
+      List.filter (fun rrow -> Expr.holds on (Row.concat lrow rrow)) right_list
+  in
+  let out =
+    if Pool.use_parallel (Array.length left_rows) then begin
+      let morsels =
+        Pool.parallel_chunks ~n:(Array.length left_rows)
+          (fun ledger ~lo ~hi ->
+            let acc = ref [] in
+            for i = lo to hi - 1 do
+              Pool.Ledger.tick ledger;
+              acc :=
+                emit kind ~right_arity left_rows.(i)
+                  (matches_of left_rows.(i))
+                  !acc
+            done;
+            List.rev !acc)
+      in
+      List.concat (Array.to_list morsels)
+    end
+    else begin
+      let acc = ref [] in
+      Array.iter
+        (fun lrow ->
+          Nra_guard.Guard.tick ();
+          acc := emit kind ~right_arity lrow (matches_of lrow) !acc)
+        left_rows;
+      List.rev !acc
+    end
+  in
+  Relation.of_rows (out_schema kind left right) out
+
+(* ---------- hash join ---------- *)
+
+(* The shared probe step: the same expression in the serial and
+   parallel paths, so their match lists are identical by construction. *)
+let probe_one tbl ~lpos ~rpos ~residual_pred lrow =
+  if Row.has_null_on lpos lrow then []
+  else
+    Hashtbl.find_all tbl (Row.hash_on lpos lrow)
+    |> List.rev (* restore build order *)
+    |> List.filter (fun rrow ->
+           Array.for_all2
+             (fun li ri -> Value.equal lrow.(li) rrow.(ri))
+             lpos rpos
+           && Expr.holds residual_pred (Row.concat lrow rrow))
+
+let join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
+    right_rows =
+  let tbl = Hashtbl.create (max 16 (Array.length right_rows)) in
+  Array.iter
+    (fun rrow ->
+      if not (Row.has_null_on rpos rrow) then
+        Hashtbl.add tbl (Row.hash_on rpos rrow) rrow)
+    right_rows;
   let acc = ref [] in
   Array.iter
     (fun lrow ->
       Nra_guard.Guard.tick ();
-      let matches =
-        Array.to_list right_rows
-        |> List.filter (fun rrow -> Expr.holds on (Row.concat lrow rrow))
-      in
+      incr stats_probes;
+      let matches = probe_one tbl ~lpos ~rpos ~residual_pred lrow in
       acc := emit kind ~right_arity lrow matches !acc)
-    (Relation.rows left);
-  Relation.of_rows (out_schema kind left right) (List.rev !acc)
+    left_rows;
+  List.rev !acc
+
+(* Parallel variant: radix-partition the build side by key hash (each
+   key's rows land in exactly one partition, in build order), build the
+   partition tables in parallel, then probe left-side morsels in
+   parallel — each morsel fills its own buffer and the owner
+   concatenates the buffers in morsel order, so the result is
+   bit-identical to [join_serial].  Workers run only pure row/predicate
+   code; checkpoints accrue to the morsel's ledger and are charged at
+   the barrier (the guard contract in docs/PERF.md). *)
+let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
+    right_rows =
+  let nparts = Pool.executors () in
+  let nright = Array.length right_rows in
+  let rhash = Array.make nright 0 in
+  let parts = Array.make nparts [] in
+  (* reverse iteration so each partition's index list is in build order *)
+  for i = nright - 1 downto 0 do
+    if not (Row.has_null_on rpos right_rows.(i)) then begin
+      let h = Row.hash_on rpos right_rows.(i) in
+      rhash.(i) <- h;
+      let p = h land max_int mod nparts in
+      parts.(p) <- i :: parts.(p)
+    end
+  done;
+  let part_idx = Array.map Array.of_list parts in
+  let tables =
+    Pool.parallel_chunks ~min_chunk:1 ~n:nparts (fun _ledger ~lo ~hi ->
+        Array.init (hi - lo) (fun k ->
+            let ids = part_idx.(lo + k) in
+            let tbl = Hashtbl.create (max 16 (Array.length ids)) in
+            Array.iter (fun i -> Hashtbl.add tbl rhash.(i) right_rows.(i)) ids;
+            tbl))
+    |> Array.to_list |> Array.concat
+  in
+  let morsels =
+    Pool.parallel_chunks ~n:(Array.length left_rows) (fun ledger ~lo ~hi ->
+        let acc = ref [] in
+        for i = lo to hi - 1 do
+          let lrow = left_rows.(i) in
+          Pool.Ledger.tick ledger;
+          let matches =
+            if Row.has_null_on lpos lrow then []
+            else
+              let h = Row.hash_on lpos lrow in
+              probe_one
+                tables.(h land max_int mod nparts)
+                ~lpos ~rpos ~residual_pred lrow
+          in
+          acc := emit kind ~right_arity lrow matches !acc
+        done;
+        List.rev !acc)
+  in
+  stats_probes := !stats_probes + Array.length left_rows;
+  List.concat (Array.to_list morsels)
 
 let join kind ~on left right =
   let left_arity = Schema.arity (Relation.schema left) in
@@ -43,32 +164,20 @@ let join kind ~on left right =
   else begin
     let lpos = Array.of_list (List.map fst equi) in
     let rpos = Array.of_list (List.map snd equi) in
+    let left_rows = Relation.rows left in
     let right_rows = Relation.rows right in
     let right_arity = Schema.arity (Relation.schema right) in
-    let tbl = Hashtbl.create (max 16 (Array.length right_rows)) in
-    Array.iter
-      (fun rrow ->
-        if not (Row.has_null_on rpos rrow) then
-          Hashtbl.add tbl (Row.hash_on rpos rrow) rrow)
-      right_rows;
     let residual_pred = Expr.conj residual in
-    let acc = ref [] in
-    Array.iter
-      (fun lrow ->
-        Nra_guard.Guard.tick ();
-        incr stats_probes;
-        let matches =
-          if Row.has_null_on lpos lrow then []
-          else
-            Hashtbl.find_all tbl (Row.hash_on lpos lrow)
-            |> List.rev (* restore build order *)
-            |> List.filter (fun rrow ->
-                   Array.for_all2
-                     (fun li ri -> Value.equal lrow.(li) rrow.(ri))
-                     lpos rpos
-                   && Expr.holds residual_pred (Row.concat lrow rrow))
-        in
-        acc := emit kind ~right_arity lrow matches !acc)
-      (Relation.rows left);
-    Relation.of_rows (out_schema kind left right) (List.rev !acc)
+    let rows =
+      if
+        Pool.use_parallel
+          (max (Array.length left_rows) (Array.length right_rows))
+      then
+        join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
+          right_rows
+      else
+        join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
+          right_rows
+    in
+    Relation.of_rows (out_schema kind left right) rows
   end

@@ -12,6 +12,7 @@ module Hash_index = Nra_storage.Hash_index
 module Sorted_index = Nra_storage.Sorted_index
 module Fault = Nra_storage.Fault
 module Guard = Nra_guard.Guard
+module Pool = Nra_pool.Pool
 
 module Algebra = struct
   module Basic = Nra_algebra.Basic

@@ -39,6 +39,10 @@ module Guard = Nra_guard.Guard
 (** Resource budgets and cooperative cancellation; pass a
     {!Guard.budget} to {!query} / {!exec} / {!run}. *)
 
+module Pool = Nra_pool.Pool
+(** The Domain pool behind morsel-driven intra-query parallelism
+    ([--domains] / [NRA_DOMAINS]) — see docs/PERF.md. *)
+
 module Algebra : sig
   module Basic = Nra_algebra.Basic
   module Join = Nra_algebra.Join

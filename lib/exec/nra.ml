@@ -234,8 +234,8 @@ and apply_child cat t opts st ~discard_ok ~parent (rel, sorted_prefix)
           Array.of_list
             (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
         in
-        let tbl : (int, Row.t * Row.t list ref) Hashtbl.t =
-          Hashtbl.create (max 16 (Relation.cardinality child_red))
+        let tbl : Row.t list ref Row.Tbl.t =
+          Row.Tbl.create (max 16 (Relation.cardinality child_red))
         in
         Array.iter
           (fun row ->
@@ -245,24 +245,17 @@ and apply_child cat t opts st ~discard_ok ~parent (rel, sorted_prefix)
                 Array.of_list
                   (List.map (fun (s, _) -> Expr.eval_scalar row s) keep)
               in
-              let h = Row.hash key in
-              match
-                Hashtbl.find_all tbl h
-                |> List.find_opt (fun (k, _) -> Row.equal k key)
-              with
-              | Some (_, cell) -> cell := elem :: !cell
-              | None -> Hashtbl.add tbl h (key, ref [ elem ])
+              match Row.Tbl.find_opt tbl key with
+              | Some cell -> cell := elem :: !cell
+              | None -> Row.Tbl.add tbl key (ref [ elem ])
             end)
           (Relation.rows child_red);
         let elems_of outer_row =
           let key = Array.map (Expr.eval_scalar outer_row) outer_keys in
           if Array.exists Value.is_null key then []
           else
-            match
-              Hashtbl.find_all tbl (Row.hash key)
-              |> List.find_opt (fun (k, _) -> Row.equal k key)
-            with
-            | Some (_, cell) -> List.rev !cell
+            match Row.Tbl.find_opt tbl key with
+            | Some cell -> List.rev !cell
             | None -> []
         in
         let rel' = rowwise mode verdict elems_of rel in

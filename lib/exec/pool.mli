@@ -1,0 +1,115 @@
+(** Morsel-driven intra-query parallelism: a lazily-spawned, reusable
+    Domain pool with one fork-join primitive, {!parallel_chunks}.
+
+    The paper's pipeline is "a sequence of hash joins producing one wide
+    flat intermediate, then nest + linking selection" — operator shapes
+    that parallelize embarrassingly by partitioning on the join/group
+    key.  The flat-intermediate representation keeps morsel partitioning
+    trivial: every kernel splits its input row array into contiguous
+    chunks ("morsels"), workers produce one output buffer per chunk, and
+    the owner concatenates the buffers {e in chunk order}, so results
+    are bit-identical to the serial path.
+
+    {2 Guard contract (the subtle part)}
+
+    The guard ({!Nra_guard.Guard}) and the I/O simulation
+    ({!Nra_storage.Iosim}) are global and single-threaded by design.
+    Worker domains therefore never touch them: each chunk closure
+    receives a private {!Ledger.t} and accrues ticks/rows/page counts
+    there; the owner merges all ledgers and charges the guard {e once}
+    at the join barrier.  Consequences, all documented and tested:
+
+    - a parallel region is one coarse checkpoint — budgets are enforced
+      at region entry and at the barrier, not per row;
+    - the region is a [with_no_yield] critical section from the
+      cooperative scheduler's point of view (no worker may perform the
+      scheduler's effects);
+    - the active budget's cancellation token {e is} polled per morsel
+      (reading one [bool ref] across domains is benign), so a cancel
+      mid-region stops the remaining morsels and surfaces
+      [Killed Cancelled] at the barrier;
+    - total charged simulated I/O equals the serial run's total, because
+      fault injection and the charge sites stay owner-side and ledger
+      merging bypasses {!Nra_storage.Fault.inject}.
+
+    Chunk closures must not call [Guard.tick]/[Iosim.charge_*]
+    themselves — that is what the ledger is for.
+
+    {2 Determinism}
+
+    Chunk {e assignment} to workers is dynamic (work stealing via an
+    atomic cursor), but chunk {e results} land in a per-chunk slot and
+    are combined in chunk order, so output — and, with fault injection
+    on, the fault-draw sequence, which is exclusively owner-side — is
+    identical for every pool size, including 0. *)
+
+module Ledger : sig
+  type t = {
+    mutable ticks : int;  (** would-be [Guard.tick] calls *)
+    mutable rows : int;  (** would-be [Guard.add_rows] rows *)
+    mutable seq_pages : int;
+    mutable rand_pages : int;
+    mutable fetched_rows : int;  (** would-be [Iosim] charges, in pages/rows *)
+  }
+
+  val create : unit -> t
+  val tick : t -> unit
+  val add_rows : t -> int -> unit
+end
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the owner participates in
+    every region, so the pool adds one worker less than the core
+    count), clamped at 0. *)
+
+val size : unit -> int
+(** Worker-domain count currently in effect: the last {!set_size}, else
+    [NRA_DOMAINS] from the environment, else {!default_size}.  [0]
+    means strictly serial — no domain is ever spawned and every kernel
+    takes its pre-existing serial path. *)
+
+val set_size : int -> unit
+(** Override the pool size (clamped at 0).  Takes effect lazily: live
+    workers are retired and the new complement is spawned on the next
+    parallel region. *)
+
+val executors : unit -> int
+(** [size () + 1] when parallel (the owner drains morsels too), [1]
+    when serial.  Kernels use this as their partition count. *)
+
+val parallel_threshold : unit -> int
+(** Minimum input rows before a kernel leaves its serial path (default
+    256, or [NRA_PARALLEL_THRESHOLD]); below it, fork-join overhead
+    dominates.  Tests lower it to force tiny inputs through the
+    parallel code. *)
+
+val set_parallel_threshold : int -> unit
+
+val morsel : unit -> int
+(** Target rows per chunk (default 1024, or [NRA_MORSEL]); the actual
+    chunk count is also capped at 4×{!executors} so per-chunk buffers
+    stay coarse. *)
+
+val set_morsel : int -> unit
+
+val use_parallel : int -> bool
+(** [executors () > 1 && n >= parallel_threshold ()] — the guard every
+    kernel places in front of its parallel path. *)
+
+val parallel_chunks :
+  ?min_chunk:int -> n:int -> (Ledger.t -> lo:int -> hi:int -> 'a) -> 'a array
+(** [parallel_chunks ~n f] splits [0..n-1] into contiguous chunks,
+    evaluates [f ledger ~lo ~hi] for each (owner and workers drain a
+    shared cursor), and returns the per-chunk results {e in chunk
+    order}.  At the barrier the owner merges all ledgers into the guard
+    and the I/O simulation, then re-raises the exception of the
+    lowest-indexed failed chunk, if any — the same error the serial
+    left-to-right loop would have raised first.  [min_chunk] defaults
+    to {!morsel}; pass [1] to make every index its own unit of work
+    (e.g. one chunk per hash partition).  Runs inline — same semantics,
+    same ledger merge — when the pool is serial or the caller is
+    already inside a region. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains (registered [at_exit]; also used by
+    {!set_size}).  Must not be called from inside a parallel region. *)

@@ -1,5 +1,6 @@
 open Nra_relational
 module T3 = Three_valued
+module Pool = Nra_pool.Pool
 
 type t = {
   key_schema : Schema.t;
@@ -31,32 +32,82 @@ let nest_sort ~by ~keep rel =
   done;
   { key_schema; elem_schema; groups = Array.of_list (List.rev !groups) }
 
+(* Accumulate [(key, elems)] groups from a stream of projected rows,
+   keyed by the whole key row (Row.Tbl replaces the old find_all +
+   List.find_opt linear bucket scan); [order] keeps first-seen key
+   order tagged with the first row's index, so partitioned runs can
+   splice back into the exact serial order. *)
+let nest_into tbl order idx key elem =
+  match Row.Tbl.find_opt tbl key with
+  | Some cell -> cell := elem :: !cell
+  | None ->
+      let cell = ref [ elem ] in
+      Row.Tbl.add tbl key cell;
+      order := (idx, key, cell) :: !order
+
+let finish_groups order =
+  List.rev_map
+    (fun (idx, key, cell) -> (idx, (key, Array.of_list (List.rev !cell))))
+    !order
+
+let nest_hash_serial ~by ~keep rows =
+  let tbl : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
+  let order = ref [] in
+  Array.iteri
+    (fun i row ->
+      nest_into tbl order i (Row.project_arr row by) (Row.project_arr row keep))
+    rows;
+  Array.of_list (List.map snd (finish_groups order))
+
+(* Parallel variant: project keys/elems over row morsels, partition row
+   indices by key hash — every occurrence of a key lands in one
+   partition, in row order — nest the partitions in parallel, then
+   sort the union of groups by each group's first-seen row index.
+   That index order is exactly the serial first-seen key order, so the
+   result is bit-identical to [nest_hash_serial]. *)
+let nest_hash_parallel ~by ~keep rows =
+  let n = Array.length rows in
+  let nparts = Pool.executors () in
+  let keys = Array.make n [||] in
+  let elems = Array.make n [||] in
+  ignore
+    (Pool.parallel_chunks ~n (fun _ledger ~lo ~hi ->
+         for i = lo to hi - 1 do
+           keys.(i) <- Row.project_arr rows.(i) by;
+           elems.(i) <- Row.project_arr rows.(i) keep
+         done));
+  let parts = Array.make nparts [] in
+  for i = n - 1 downto 0 do
+    let p = Row.hash keys.(i) land max_int mod nparts in
+    parts.(p) <- i :: parts.(p)
+  done;
+  let part_idx = Array.map Array.of_list parts in
+  let per_part =
+    Pool.parallel_chunks ~min_chunk:1 ~n:nparts (fun _ledger ~lo ~hi ->
+        let acc = ref [] in
+        for k = lo to hi - 1 do
+          let tbl : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
+          let order = ref [] in
+          Array.iter
+            (fun i -> nest_into tbl order i keys.(i) elems.(i))
+            part_idx.(k);
+          acc := List.rev_append (List.rev (finish_groups order)) !acc
+        done;
+        List.rev !acc)
+  in
+  let all = Array.of_list (List.concat (Array.to_list per_part)) in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) all;
+  Array.map snd all
+
 let nest_hash ~by ~keep rel =
   let key_schema, elem_schema = schemas rel ~by ~keep in
-  let tbl : (int, Row.t * Row.t list ref) Hashtbl.t = Hashtbl.create 64 in
-  let order = ref [] in
-  Array.iter
-    (fun row ->
-      let key = Row.project_arr row by in
-      let elem = Row.project_arr row keep in
-      let h = Row.hash key in
-      let existing =
-        Hashtbl.find_all tbl h
-        |> List.find_opt (fun (k, _) -> Row.equal k key)
-      in
-      match existing with
-      | Some (_, cell) -> cell := elem :: !cell
-      | None ->
-          let cell = ref [ elem ] in
-          Hashtbl.add tbl h (key, cell);
-          order := (key, cell) :: !order)
-    (Relation.rows rel);
+  let rows = Relation.rows rel in
   let groups =
-    List.rev_map
-      (fun (key, cell) -> (key, Array.of_list (List.rev !cell)))
-      !order
+    if Pool.use_parallel (Array.length rows) then
+      nest_hash_parallel ~by ~keep rows
+    else nest_hash_serial ~by ~keep rows
   in
-  { key_schema; elem_schema; groups = Array.of_list groups }
+  { key_schema; elem_schema; groups }
 
 let cardinality t = Array.length t.groups
 

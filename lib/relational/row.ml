@@ -1,7 +1,7 @@
 type t = Value.t array
 
-let project row idxs = Array.of_list (List.map (fun i -> row.(i)) idxs)
 let project_arr row idxs = Array.map (fun i -> row.(i)) idxs
+let project row idxs = project_arr row (Array.of_list idxs)
 let concat = Array.append
 let nulls n = Array.make n Value.Null
 
@@ -19,6 +19,16 @@ let equal a b = compare a b = 0
 
 let hash row =
   Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
+
+(* A keyed hash table over whole rows: grouping and duplicate-style
+   lookups index by projected key rows, and a keyed table beats the
+   (hash, assoc-scan) encoding it replaces. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash r = hash r land max_int
+end)
 
 let compare_on idxs a b =
   let n = Array.length idxs in

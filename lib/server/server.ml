@@ -9,6 +9,7 @@ type config = {
   strategy : Nra.strategy;
   quantum_ms : float;
   urgent_ms : float;
+  domains : int option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     strategy = Nra.Auto;
     quantum_ms = Scheduler.default_quantum_ms;
     urgent_ms = 5.0;
+    domains = None;
   }
 
 type outcome = {
@@ -60,6 +62,11 @@ let create ?(config = default_config) cat =
     Nra.set_explain_note Plan_cache.note;
     hook_registered := true
   end;
+  (* The scheduler owns the Domain pool: statements time-slice on one
+     domain, and a statement's parallel region runs to the barrier
+     within its slice (a no-yield critical section), so one pool serves
+     all sessions without interleaving hazards. *)
+  Option.iter Nra_pool.Pool.set_size config.domains;
   {
     cat;
     cfg = config;

@@ -32,11 +32,19 @@ type config = {
   urgent_ms : float;
       (** a statement whose session has at most this much simulated-I/O
           allowance left is boosted ahead of bulk work *)
+  domains : int option;
+      (** worker-domain count for intra-query parallelism, applied to
+          the scheduler-owned pool ([Nra_pool.Pool.set_size]) at
+          {!create}; [None] keeps the pool's current size
+          ([NRA_DOMAINS] or the core count).  A statement's parallel
+          regions run to their barrier within its scheduler slice —
+          see docs/PERF.md. *)
 }
 
 val default_config : config
 (** {!Admission.default_config}, cache of 128, unlimited sessions,
-    [Auto], {!Scheduler.default_quantum_ms}, 5 ms urgency threshold. *)
+    [Auto], {!Scheduler.default_quantum_ms}, 5 ms urgency threshold,
+    pool size left as-is. *)
 
 type t
 

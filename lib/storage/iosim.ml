@@ -87,6 +87,19 @@ let charge_fetch_rows rows =
 
 let counters () = !state
 
+(* Parallel-region ledger merge (nra.pool): workers tally would-be
+   charges locally and the owner deposits the sum here at the join
+   barrier.  Deliberately no Fault.inject — every charge site already
+   drew its fault owner-side, and a second draw would make the fault
+   sequence depend on the domain count. *)
+let absorb (c : counters) =
+  state :=
+    {
+      seq_pages = !state.seq_pages + c.seq_pages;
+      rand_pages = !state.rand_pages + c.rand_pages;
+      fetched_rows = !state.fetched_rows + c.fetched_rows;
+    }
+
 (* aborted-attempt rollback: Auto's kill-and-fallback undoes the killed
    plan's charges so the simulation reflects only work that produced the
    answer.  Cache contents are deliberately kept — a real buffer pool
