@@ -111,6 +111,47 @@ let fault_seed =
 
 let install_faults p seed = if p > 0.0 then Nra.Fault.configure ~seed p
 
+(* ---------- out-of-core storage options ---------- *)
+
+let buffer_pages =
+  let doc =
+    "Buffer-pool frame budget in pages (0 disables the pool).  When an \
+     input exceeds the budget, joins switch to grace/hybrid hash and \
+     nests spill partitions — results are bit-identical at every \
+     setting.  Default: the NRA_BUFFER_PAGES environment variable."
+  in
+  Arg.(value & opt (some int) None & info [ "buffer-pages" ] ~docv:"N" ~doc)
+
+let buffer_mb =
+  let doc =
+    "Buffer-pool budget in megabytes, converted to whole frames at the \
+     configured page size (see $(b,--page-size-kb)); the paper's 32 MB \
+     buffer cache is $(b,--buffer-mb 32)."
+  in
+  Arg.(value & opt (some float) None & info [ "buffer-mb" ] ~docv:"MB" ~doc)
+
+let page_size_kb =
+  let doc =
+    "Simulated page size in KB (default 8) — the unit $(b,--buffer-mb) \
+     divides by, so memory budgets convert to exact frame counts."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "page-size-kb" ] ~docv:"KB" ~doc)
+
+let install_storage page_size_kb buffer_pages buffer_mb =
+  Option.iter
+    (fun kb ->
+      let c = Nra.Iosim.config () in
+      Nra.Iosim.set_config { c with Nra.Iosim.page_size_kb = kb })
+    page_size_kb;
+  (match buffer_pages with
+  | Some 0 -> Nra.Bufpool.set_frames None
+  | Some n -> Nra.Bufpool.set_frames (Some n)
+  | None -> ());
+  Option.iter
+    (fun mb -> Nra.Bufpool.set_frames (Some (Nra.Iosim.frames_for_mb mb)))
+    buffer_mb
+
 (* ---------- serving-layer options (repl) ---------- *)
 
 let session_wall_ms =
@@ -215,8 +256,9 @@ let print_robustness_report () =
 (* ---------- commands ---------- *)
 
 let run_query strategy domains scale seed null_rate not_null csv timing
-    timeout_ms io_budget_ms max_rows faults fault_seed sql =
+    timeout_ms io_budget_ms max_rows faults fault_seed psize bpages bmb sql =
   Option.iter Nra_pool.Pool.set_size domains;
+  install_storage psize bpages bmb;
   let cat = make_catalog scale seed null_rate not_null in
   (* statistics collection is pure CPU (no Iosim charges), so Auto's
      choice is informed without distorting the reported simulation *)
@@ -252,7 +294,21 @@ let run_query strategy domains scale seed null_rate not_null csv timing
           c.Nra_storage.Iosim.seq_pages c.Nra_storage.Iosim.rand_pages
           c.Nra_storage.Iosim.fetched_rows
           (Nra_storage.Iosim.cache_hits ())
-          (Nra_storage.Iosim.cache_misses ())
+          (Nra_storage.Iosim.cache_misses ());
+        if Nra.Bufpool.enabled () then begin
+          let bp = Nra.Bufpool.stats () in
+          Printf.printf
+            "pool: %s frames, %d hit / %d miss, %d eviction(s), %d \
+             writeback(s), %d spilled partition(s) (%d page(s)), %d WAL \
+             record(s)\n"
+            (match Nra.Bufpool.frames () with
+            | Some f -> string_of_int f
+            | None -> "-")
+            bp.Nra.Bufpool.hits bp.Nra.Bufpool.misses
+            bp.Nra.Bufpool.evictions bp.Nra.Bufpool.writebacks
+            bp.Nra.Bufpool.spilled_partitions bp.Nra.Bufpool.spilled_pages
+            (Nra.Wal.records ())
+        end
       end;
       if timing then print_robustness_report ();
       `Ok ()
@@ -267,7 +323,8 @@ let query_cmd =
       ret
         (const run_query $ strategy $ domains_arg $ scale $ seed $ null_rate
        $ not_null $ csv $ timing $ timeout_ms $ io_budget_ms $ max_rows
-       $ faults $ fault_seed $ sql_arg))
+       $ faults $ fault_seed $ page_size_kb $ buffer_pages $ buffer_mb
+       $ sql_arg))
 
 let costs =
   let doc =
@@ -349,8 +406,9 @@ let analyze_cmd =
         (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
 let run_repl strategy domains scale seed null_rate not_null timeout_ms
-    io_budget_ms max_rows faults fault_seed session_wall_ms session_io_ms
-    session_rows max_concurrent queue_len quantum_ms =
+    io_budget_ms max_rows faults fault_seed psize bpages bmb session_wall_ms
+    session_io_ms session_rows max_concurrent queue_len quantum_ms =
+  install_storage psize bpages bmb;
   let cat = make_catalog scale seed null_rate not_null in
   install_faults faults fault_seed;
   let server =
@@ -424,8 +482,9 @@ let repl_cmd =
     Term.(
       const run_repl $ strategy $ domains_arg $ scale $ seed $ null_rate
       $ not_null $ timeout_ms $ io_budget_ms $ max_rows $ faults
-      $ fault_seed $ session_wall_ms $ session_io_ms $ session_rows
-      $ max_concurrent $ queue_len $ quantum_ms)
+      $ fault_seed $ page_size_kb $ buffer_pages $ buffer_mb
+      $ session_wall_ms $ session_io_ms $ session_rows $ max_concurrent
+      $ queue_len $ quantum_ms)
 
 let main =
   let info =

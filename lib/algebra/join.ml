@@ -157,6 +157,93 @@ let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
   stats_probes := !stats_probes + Array.length left_rows;
   List.concat (Array.to_list morsels)
 
+(* Grace/hybrid variant: when the build side exceeds the buffer pool's
+   frame budget, partition both inputs by key hash into [nparts]
+   buckets sized so one bucket's build table fits the budget.  Bucket 0
+   is kept in memory and probed on the fly during the left pass (the
+   "hybrid" refinement); the others spill through Bufpool.Spill —
+   charged page writes under the budget, charged page reads when each
+   partition is processed build-then-probe.
+
+   Bit-identical to [join_serial] by the same argument as
+   [join_parallel]: every row with key hash [h] lands in partition
+   [h mod nparts], spills preserve arrival order so each partition
+   table is built in build order, and [probe_one] against the
+   partition table sees exactly the rows the global table's
+   [find_all h] would return.  Left matches are collected into a
+   per-row array indexed by the original position (spilled left rows
+   carry their index) and emitted in one ordered pass at the end. *)
+let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
+    right_rows =
+  let module B = Nra_storage.Bufpool in
+  let build_pages = Nra_storage.Iosim.pages (Array.length right_rows) in
+  let budget = max 1 (frames - 1) in
+  let nparts = min 64 (max 2 ((build_pages + budget - 1) / budget)) in
+  let tbl0 = Hashtbl.create 1024 in
+  let rspills =
+    Array.init (nparts - 1) (fun p -> B.Spill.create (Printf.sprintf "jr%d" p))
+  in
+  let lspills =
+    Array.init (nparts - 1) (fun p -> B.Spill.create (Printf.sprintf "jl%d" p))
+  in
+  let free_all () =
+    Array.iter B.Spill.free rspills;
+    Array.iter B.Spill.free lspills
+  in
+  Fun.protect ~finally:free_all @@ fun () ->
+  (* build pass: partition the right side *)
+  Array.iter
+    (fun rrow ->
+      Nra_guard.Guard.tick ();
+      if not (Row.has_null_on rpos rrow) then begin
+        let h = Row.hash_on rpos rrow in
+        let p = h land max_int mod nparts in
+        if p = 0 then Hashtbl.add tbl0 h rrow
+        else B.Spill.add rspills.(p - 1) rrow
+      end)
+    right_rows;
+  Array.iter B.Spill.finish rspills;
+  (* probe pass: partition 0 resolved immediately, the rest deferred
+     with the row's original index prepended *)
+  let n = Array.length left_rows in
+  let matches = Array.make n [] in
+  Array.iteri
+    (fun i lrow ->
+      Nra_guard.Guard.tick ();
+      if not (Row.has_null_on lpos lrow) then begin
+        let h = Row.hash_on lpos lrow in
+        let p = h land max_int mod nparts in
+        if p = 0 then
+          matches.(i) <- probe_one tbl0 ~lpos ~rpos ~residual_pred lrow
+        else B.Spill.add lspills.(p - 1) (Array.append [| Value.Int i |] lrow)
+      end)
+    left_rows;
+  Array.iter B.Spill.finish lspills;
+  (* spilled partitions, one at a time: re-read build rows, hash,
+     re-read probe rows, resolve *)
+  Array.iteri
+    (fun k rsp ->
+      Nra_guard.Guard.tick ();
+      let tbl = Hashtbl.create (max 16 (B.Spill.length rsp)) in
+      B.Spill.iter rsp (fun rrow ->
+          Hashtbl.add tbl (Row.hash_on rpos rrow) rrow);
+      B.Spill.iter lspills.(k) (fun packed ->
+          Nra_guard.Guard.tick ();
+          let i =
+            match packed.(0) with Value.Int i -> i | _ -> assert false
+          in
+          let lrow = Array.sub packed 1 (Array.length packed - 1) in
+          matches.(i) <- probe_one tbl ~lpos ~rpos ~residual_pred lrow);
+      B.Spill.free rsp;
+      B.Spill.free lspills.(k))
+    rspills;
+  stats_probes := !stats_probes + n;
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    acc := emit kind ~right_arity left_rows.(i) matches.(i) !acc
+  done;
+  List.rev !acc
+
 let join kind ~on left right =
   let left_arity = Schema.arity (Relation.schema left) in
   let equi, residual = Expr.split_equi ~left_arity on in
@@ -168,16 +255,29 @@ let join kind ~on left right =
     let right_rows = Relation.rows right in
     let right_arity = Schema.arity (Relation.schema right) in
     let residual_pred = Expr.conj residual in
+    let spill =
+      match Nra_storage.Bufpool.frames () with
+      | Some f when Nra_storage.Iosim.pages (Array.length right_rows) > f ->
+          Some f
+      | _ -> None
+    in
     let rows =
-      if
-        Pool.use_parallel
-          (max (Array.length left_rows) (Array.length right_rows))
-      then
-        join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
-          right_rows
-      else
-        join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
-          right_rows
+      match spill with
+      | Some frames ->
+          (* out-of-core wins over parallel: the spill path is serial
+             by design (the pool, like Iosim, is owner-side state) *)
+          join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames
+            left_rows right_rows
+      | None ->
+          if
+            Pool.use_parallel
+              (max (Array.length left_rows) (Array.length right_rows))
+          then
+            join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity
+              left_rows right_rows
+          else
+            join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
+              right_rows
     in
     Relation.of_rows (out_schema kind left right) rows
   end

@@ -11,6 +11,9 @@ module Catalog = Nra_storage.Catalog
 module Hash_index = Nra_storage.Hash_index
 module Sorted_index = Nra_storage.Sorted_index
 module Fault = Nra_storage.Fault
+module Iosim = Nra_storage.Iosim
+module Bufpool = Nra_storage.Bufpool
+module Wal = Nra_storage.Wal
 module Guard = Nra_guard.Guard
 module Pool = Nra_pool.Pool
 
@@ -409,6 +412,31 @@ let invalidf fmt = Format.kasprintf (fun m -> Error (Exec_error.Invalid m)) fmt
    [Error] with the table, its indexes, and the catalog generation
    untouched. *)
 
+(* Every DML mutation runs through the write-ahead log: Begin, the
+   op's before/after images (log-before-write), the mutation, Commit.
+   [mutate] must be one of the catalog's atomic entry points — it
+   either applies fully or raises having applied nothing
+   ([Catalog.update_rows] validates before its single commit point) —
+   so on an exception we know exactly whether undo is needed: only
+   when [Wal.commit] itself was what failed.  Inline rollback
+   preserves the pre-statement state; [Fault.Crash] (the
+   kill-at-fault-point harness's power loss) bypasses all cleanup by
+   design and escapes raw — [Wal.recover] repairs the catalog on
+   restart. *)
+let wal_mutate cat ~log ~mutate =
+  let stmt = Wal.begin_stmt () in
+  let applied = ref false in
+  try
+    log stmt;
+    mutate ();
+    applied := true;
+    Wal.commit stmt
+  with
+  | Fault.Crash _ as e -> raise e
+  | e ->
+      Wal.abort ~applied:!applied cat stmt;
+      raise e
+
 let do_create cat ~table ~columns ~key =
   trap (fun () ->
       if Catalog.mem cat table then
@@ -421,7 +449,10 @@ let do_create cat ~table ~columns ~key =
                 cd.Ast.cd_name cd.Ast.cd_type)
             columns
         in
-        Catalog.register cat (Table.create ~name:table ~key cols [||]);
+        let t = Table.create ~name:table ~key cols [||] in
+        wal_mutate cat
+          ~log:(fun stmt -> Wal.log_create stmt t)
+          ~mutate:(fun () -> Catalog.register cat t);
         Ok (Done (Printf.sprintf "table %s created" table))
       end)
 
@@ -443,12 +474,12 @@ let do_insert_rows cat table new_rows =
               invalidf "insert into %s: %d values where %d columns expected"
                 table (Array.length r) arity
           | None ->
-              let rows =
-                Array.append
-                  (Relation.rows (Table.relation t))
-                  (Array.of_list new_rows)
-              in
-              Catalog.update_rows cat table rows;
+              let before = Relation.rows (Table.relation t) in
+              let rows = Array.append before (Array.of_list new_rows) in
+              wal_mutate cat
+                ~log:(fun stmt ->
+                  Wal.log_update stmt ~table ~before ~after:rows)
+                ~mutate:(fun () -> Catalog.update_rows cat table rows);
               Ok (Count (List.length new_rows))))
 
 let do_delete strategy cat table where =
@@ -478,15 +509,20 @@ let do_delete strategy cat table where =
                 | Some k2 -> Row.equal k k2
                 | None -> false
               in
-              let before = Table.cardinality t in
+              let before_rows = Relation.rows (Table.relation t) in
               let survivors =
                 Array.of_list
                   (List.filter
                      (fun r -> not (is_doomed r))
-                     (Array.to_list (Relation.rows (Table.relation t))))
+                     (Array.to_list before_rows))
               in
-              Catalog.update_rows cat table survivors;
-              Ok (Count (before - Array.length survivors))))
+              wal_mutate cat
+                ~log:(fun stmt ->
+                  Wal.log_update stmt ~table ~before:before_rows
+                    ~after:survivors)
+                ~mutate:(fun () -> Catalog.update_rows cat table survivors);
+              Ok
+                (Count (Array.length before_rows - Array.length survivors))))
 
 let do_update strategy cat table assigns where =
   trap (fun () ->
@@ -534,6 +570,7 @@ let do_update strategy cat table assigns where =
                 (Relation.rows matching);
               let keys = Table.key_positions t in
               let changed = ref 0 in
+              let before = Relation.rows (Table.relation t) in
               let rows =
                 Array.map
                   (fun row ->
@@ -547,9 +584,12 @@ let do_update strategy cat table assigns where =
                           positions;
                         row'
                     | _ -> row)
-                  (Relation.rows (Table.relation t))
+                  before
               in
-              Catalog.update_rows cat table rows;
+              wal_mutate cat
+                ~log:(fun stmt ->
+                  Wal.log_update stmt ~table ~before ~after:rows)
+                ~mutate:(fun () -> Catalog.update_rows cat table rows);
               Ok (Count !changed)))
 
 let run_command strategy cat = function
@@ -560,11 +600,14 @@ let run_command strategy cat = function
   | Ast.Create_table { table; columns; key } ->
       do_create cat ~table ~columns ~key
   | Ast.Drop_table table ->
-      if Catalog.mem cat table then begin
-        Catalog.drop_table cat table;
-        Ok (Done (Printf.sprintf "table %s dropped" table))
-      end
-      else invalidf "unknown table %s" table
+      trap (fun () ->
+          match Catalog.table_opt cat table with
+          | None -> invalidf "unknown table %s" table
+          | Some t ->
+              wal_mutate cat
+                ~log:(fun stmt -> Wal.log_drop stmt t)
+                ~mutate:(fun () -> Catalog.drop_table cat table);
+              Ok (Done (Printf.sprintf "table %s dropped" table)))
   | Ast.Insert_values (table, rows) ->
       do_insert_rows cat table (List.map Array.of_list rows)
   | Ast.Insert_select (table, stmt) -> (
@@ -755,6 +798,19 @@ let explain_costs cat sql =
                   (strategy_to_string Nra_optimized)
         in
         let ev = Guard.events () in
+        let bp = Bufpool.stats () in
+        let storage_line =
+          Printf.sprintf
+            "storage (session): buffer pool %s; %d hit(s), %d miss(es), \
+             %d eviction(s), %d writeback(s); %d spilled partition(s) \
+             (%d page(s)); %d WAL record(s)\n"
+            (match Bufpool.frames () with
+            | Some f -> Printf.sprintf "%d frame(s)" f
+            | None -> "off")
+            bp.Bufpool.hits bp.Bufpool.misses bp.Bufpool.evictions
+            bp.Bufpool.writebacks bp.Bufpool.spilled_partitions
+            bp.Bufpool.spilled_pages (Wal.records ())
+        in
         let note =
           match !explain_note () with
           | Some line -> "\n" ^ line
@@ -762,10 +818,10 @@ let explain_costs cat sql =
         in
         Ok
           (Printf.sprintf
-             "%s\n%sguard events (session): %d budget kill(s), %d \
+             "%s\n%s%sguard events (session): %d budget kill(s), %d \
               cancellation(s), %d auto fallback(s)%s"
-             report auto_line ev.Guard.budget_kills ev.Guard.cancellations
-             ev.Guard.auto_fallbacks note)
+             report auto_line storage_line ev.Guard.budget_kills
+             ev.Guard.cancellations ev.Guard.auto_fallbacks note)
       with e -> Error (Printexc.to_string e))
 
 let auto_choice cat sql =

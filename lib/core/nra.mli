@@ -35,6 +35,18 @@ module Fault = Nra_storage.Fault
 (** Deterministic fault injection into the simulated I/O layer — see
     docs/ROBUSTNESS.md. *)
 
+module Iosim = Nra_storage.Iosim
+(** The simulated I/O cost model the executors charge. *)
+
+module Bufpool = Nra_storage.Bufpool
+(** The paged buffer pool behind out-of-core execution
+    ([--buffer-pages] / [NRA_BUFFER_PAGES]) — see docs/STORAGE.md. *)
+
+module Wal = Nra_storage.Wal
+(** The write-ahead log wrapping every DML mutation; [Wal.recover]
+    repairs the catalog after a {!Fault.Crash} — see
+    docs/STORAGE.md. *)
+
 module Guard = Nra_guard.Guard
 (** Resource budgets and cooperative cancellation; pass a
     {!Guard.budget} to {!query} / {!exec} / {!run}. *)

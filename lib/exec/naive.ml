@@ -153,7 +153,9 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
     | _ -> None
   in
   let scan_charges =
-    List.map (fun (bd : A.binding) -> Table.cardinality bd.A.table)
+    List.map
+      (fun (bd : A.binding) ->
+        (Table.name bd.A.table, Table.cardinality bd.A.table))
       b.A.bindings
   in
   (* lazy qualifying sequence over concatenated (outer ++ inner) rows;
@@ -166,11 +168,17 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
           Seq.filter (fun crow -> Expr.holds local_pred crow)
             (probe outer_row)
       | None ->
-          (* nested iteration without an index rescans the inner block *)
+          (* nested iteration without an index rescans the inner block;
+             under the buffer pool a small inner table stays resident
+             across outer tuples, so rescans after the first are nearly
+             free — the paper's 32 MB-cache effect *)
           List.iter
-            (fun n ->
-              Nra_storage.Fault.with_retries (fun () ->
-                  Nra_storage.Iosim.charge_scan_rows n))
+            (fun (name, n) ->
+              if Nra_storage.Bufpool.enabled () then
+                Frame.charge_scan_chunked ~table:name n
+              else
+                Nra_storage.Fault.with_retries (fun () ->
+                    Nra_storage.Iosim.charge_scan_rows n))
             scan_charges;
           Array.to_seq scan_rows
     in

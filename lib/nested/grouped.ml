@@ -99,13 +99,72 @@ let nest_hash_parallel ~by ~keep rows =
   Array.sort (fun (a, _) (b, _) -> Int.compare a b) all;
   Array.map snd all
 
+(* Spillable variant: when the input exceeds the buffer pool's frame
+   budget, partition the projected (key, elem) stream by key hash into
+   buckets sized to fit the budget.  Bucket 0 nests in memory as rows
+   arrive (hybrid); the others spill through Bufpool.Spill — charged
+   page writes, charged page re-reads when each partition nests on its
+   own — with the row's original index prepended so the final
+   first-index sort restores the exact serial first-seen key order.
+   Bit-identical to [nest_hash_serial] by the same argument as
+   [nest_hash_parallel]: every occurrence of a key lands in one
+   partition, in row order. *)
+let nest_hash_spill ~by ~keep ~frames rows =
+  let module B = Nra_storage.Bufpool in
+  let n = Array.length rows in
+  let budget = max 1 (frames - 1) in
+  let input_pages = Nra_storage.Iosim.pages n in
+  let nparts = min 64 (max 2 ((input_pages + budget - 1) / budget)) in
+  let karity = Array.length by and earity = Array.length keep in
+  let tbl0 : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
+  let order0 = ref [] in
+  let spills =
+    Array.init (nparts - 1) (fun p -> B.Spill.create (Printf.sprintf "ns%d" p))
+  in
+  Fun.protect ~finally:(fun () -> Array.iter B.Spill.free spills) @@ fun () ->
+  Array.iteri
+    (fun i row ->
+      let key = Row.project_arr row by in
+      let elem = Row.project_arr row keep in
+      let p = Row.hash key land max_int mod nparts in
+      if p = 0 then nest_into tbl0 order0 i key elem
+      else
+        B.Spill.add spills.(p - 1)
+          (Array.concat [ [| Value.Int i |]; key; elem ]))
+    rows;
+  Array.iter B.Spill.finish spills;
+  let all = ref (List.rev (finish_groups order0)) in
+  Array.iter
+    (fun sp ->
+      let tbl : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
+      let order = ref [] in
+      B.Spill.iter sp (fun packed ->
+          let i =
+            match packed.(0) with Value.Int i -> i | _ -> assert false
+          in
+          let key = Array.sub packed 1 karity in
+          let elem = Array.sub packed (1 + karity) earity in
+          nest_into tbl order i key elem);
+      all := List.rev_append (finish_groups order) !all;
+      B.Spill.free sp)
+    spills;
+  let arr = Array.of_list !all in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+  Array.map snd arr
+
 let nest_hash ~by ~keep rel =
   let key_schema, elem_schema = schemas rel ~by ~keep in
   let rows = Relation.rows rel in
   let groups =
-    if Pool.use_parallel (Array.length rows) then
-      nest_hash_parallel ~by ~keep rows
-    else nest_hash_serial ~by ~keep rows
+    match Nra_storage.Bufpool.frames () with
+    | Some f when Nra_storage.Iosim.pages (Array.length rows) > f ->
+        (* out-of-core wins over parallel: the spill path is serial by
+           design (the pool, like Iosim, is owner-side state) *)
+        nest_hash_spill ~by ~keep ~frames:f rows
+    | _ ->
+        if Pool.use_parallel (Array.length rows) then
+          nest_hash_parallel ~by ~keep rows
+        else nest_hash_serial ~by ~keep rows
   in
   { key_schema; elem_schema; groups }
 

@@ -1,0 +1,266 @@
+(* A paged buffer pool with a fixed frame budget.
+
+   The engine's data always lives in OCaml heap memory — what this pool
+   simulates is *residency*: which pages an engine with [frames] frames
+   of buffer memory would have resident, and therefore which accesses
+   hit (free) and which miss (a page-in charged through Iosim, possibly
+   forcing a dirty writeback first).  Everything the cost model, the
+   guards, the scheduler quanta, and the fault injector see goes through
+   those Iosim charge sites, so bounded memory is visible to every
+   layer above without any layer holding real 8 KB buffers.
+
+   Disabled by default ([frames () = None]): the engine behaves exactly
+   as before this pool existed.  Enable with [set_frames (Some n)],
+   [--buffer-pages N] on the CLI, or the NRA_BUFFER_PAGES environment
+   variable ("N" frames, or "32mb"-style budgets converted at the
+   configured Iosim page size) — the latter is how CI runs the whole
+   suite out-of-core.
+
+   Global and single-threaded, like Iosim: worker domains never touch
+   the pool (the spill paths are serial, chosen before the morsel
+   kernels — see docs/STORAGE.md). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  spilled_partitions : int;
+  spilled_pages : int;
+}
+
+let zero_stats =
+  {
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    spilled_partitions = 0;
+    spilled_pages = 0;
+  }
+
+type meta = {
+  key : string * int;
+  mutable dirty : bool;
+  mutable pins : int;
+}
+
+let frame_budget : int option ref = ref None
+
+(* page identity: (owner, page number) interned to a dense int for the
+   Lru recency list *)
+let ids : (string * int, int) Hashtbl.t = Hashtbl.create 256
+let next_id = ref 0
+let metas : (int, meta) Hashtbl.t = Hashtbl.create 256
+let lru = ref (Lru.create ~capacity:max_int)
+let st = ref zero_stats
+
+let enabled () = !frame_budget <> None
+let frames () = !frame_budget
+let stats () = !st
+
+let reset () =
+  Hashtbl.reset ids;
+  Hashtbl.reset metas;
+  next_id := 0;
+  lru := Lru.create ~capacity:max_int;
+  st := zero_stats
+
+let set_frames n =
+  reset ();
+  frame_budget := Option.map (max 1) n
+
+let id_of key =
+  match Hashtbl.find_opt ids key with
+  | Some i -> i
+  | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.add ids key i;
+      i
+
+let resident key =
+  match Hashtbl.find_opt ids key with
+  | None -> false
+  | Some i -> Hashtbl.mem metas i
+
+(* Evict down to the frame budget: least-recently-used unpinned frames
+   go first; a dirty victim is written back (one charged page) before
+   the frame is reused.  If every frame is pinned the pool over-commits
+   rather than deadlocking — pins here are short (one spill page while
+   its rows are consumed), so this is the pragmatic choice a
+   simulation can make where a real pool would block. *)
+let rec enforce () =
+  match !frame_budget with
+  | None -> ()
+  | Some f ->
+      if Hashtbl.length metas > f then begin
+        match
+          Lru.find_victim !lru (fun i -> (Hashtbl.find metas i).pins = 0)
+        with
+        | None -> ()
+        | Some i ->
+            let m = Hashtbl.find metas i in
+            if m.dirty then begin
+              Fault.with_retries (fun () -> Iosim.charge_page_out 1);
+              st := { !st with writebacks = !st.writebacks + 1 }
+            end;
+            Lru.remove !lru i;
+            Hashtbl.remove metas i;
+            st := { !st with evictions = !st.evictions + 1 };
+            enforce ()
+      end
+
+(* make [key] resident and most-recent; [dirty] marks the frame,
+   [charge] pays for the page-in on a miss *)
+let touch ~dirty ~charge key =
+  if enabled () then begin
+    let i = id_of key in
+    match Hashtbl.find_opt metas i with
+    | Some m ->
+        st := { !st with hits = !st.hits + 1 };
+        ignore (Lru.touch !lru i);
+        if dirty then m.dirty <- true
+    | None ->
+        st := { !st with misses = !st.misses + 1 };
+        if charge then Fault.with_retries (fun () -> Iosim.charge_page_in 1);
+        ignore (Lru.touch !lru i);
+        Hashtbl.replace metas i { key; dirty; pins = 0 };
+        enforce ()
+  end
+
+let read key = touch ~dirty:false ~charge:true key
+
+(* a blind write allocates the frame dirty without reading the old
+   contents back in — the cost is deferred to the writeback *)
+let write key = touch ~dirty:true ~charge:false key
+
+let pin key =
+  if enabled () then begin
+    if not (resident key) then read key;
+    let m = Hashtbl.find metas (id_of key) in
+    m.pins <- m.pins + 1
+  end
+
+let unpin key =
+  if enabled () then
+    match Hashtbl.find_opt ids key with
+    | None -> ()
+    | Some i -> (
+        match Hashtbl.find_opt metas i with
+        | Some m -> m.pins <- max 0 (m.pins - 1)
+        | None -> ())
+
+(* free a page whose data is dead: no writeback, the frame just
+   becomes available *)
+let drop key =
+  match Hashtbl.find_opt ids key with
+  | None -> ()
+  | Some i ->
+      Lru.remove !lru i;
+      Hashtbl.remove metas i;
+      Hashtbl.remove ids key
+
+(* ---------- spill partitions ----------
+
+   A spill partition is an append-only run of pages holding rows that
+   exceeded the frame budget — the unit the grace hash join and the
+   spillable nest write out and later consume partition-at-a-time.  The
+   rows themselves stay on the OCaml heap (this is a simulation); what
+   the pool tracks is that the partition's pages were *written* (dirty
+   frames, written back as the budget forces them out) and later *read*
+   (hits if still resident — which is exactly how a hybrid join's
+   lucky partitions become free — misses charged otherwise). *)
+
+module Spill = struct
+  type t = {
+    tag : string;
+    mutable page_data : Nra_relational.Row.t array list;
+        (* newest first until [finish] *)
+    mutable finished : Nra_relational.Row.t array array;
+    mutable buf : Nra_relational.Row.t list;
+    mutable buf_len : int;
+    mutable n_pages : int;
+    mutable rows : int;
+  }
+
+  let seq = ref 0
+
+  let create label =
+    incr seq;
+    {
+      tag = Printf.sprintf "spill:%s#%d" label !seq;
+      page_data = [];
+      finished = [||];
+      buf = [];
+      buf_len = 0;
+      n_pages = 0;
+      rows = 0;
+    }
+
+  let length t = t.rows
+
+  let flush_page t =
+    if t.buf_len > 0 then begin
+      if t.n_pages = 0 then
+        st := { !st with spilled_partitions = !st.spilled_partitions + 1 };
+      let page = Array.of_list (List.rev t.buf) in
+      t.page_data <- page :: t.page_data;
+      t.buf <- [];
+      t.buf_len <- 0;
+      write (t.tag, t.n_pages);
+      t.n_pages <- t.n_pages + 1;
+      st := { !st with spilled_pages = !st.spilled_pages + 1 }
+    end
+
+  let add t row =
+    t.buf <- row :: t.buf;
+    t.buf_len <- t.buf_len + 1;
+    t.rows <- t.rows + 1;
+    if t.buf_len >= (Iosim.config ()).Iosim.rows_per_page then flush_page t
+
+  let finish t =
+    flush_page t;
+    t.finished <- Array.of_list (List.rev t.page_data);
+    t.page_data <- []
+
+  let iter t f =
+    Array.iteri
+      (fun p rows ->
+        let key = (t.tag, p) in
+        pin key;
+        Fun.protect
+          ~finally:(fun () -> unpin key)
+          (fun () -> Array.iter f rows))
+      t.finished
+
+  let free t =
+    for p = 0 to t.n_pages - 1 do
+      drop (t.tag, p)
+    done;
+    t.finished <- [||];
+    t.page_data <- []
+end
+
+(* NRA_BUFFER_PAGES: "N" frames, "0" disabled, or a "<X>mb" memory
+   budget converted at the configured Iosim page size *)
+let () =
+  Iosim.on_reset reset;
+  match Sys.getenv_opt "NRA_BUFFER_PAGES" with
+  | None -> ()
+  | Some spec -> (
+      let spec = String.trim (String.lowercase_ascii spec) in
+      match int_of_string_opt spec with
+      | Some n when n > 0 -> frame_budget := Some n
+      | Some _ -> ()
+      | None ->
+          if String.length spec > 2
+             && String.sub spec (String.length spec - 2) 2 = "mb"
+          then
+            match
+              float_of_string_opt
+                (String.sub spec 0 (String.length spec - 2))
+            with
+            | Some mb when mb > 0.0 ->
+                frame_budget := Some (Iosim.frames_for_mb mb)
+            | _ -> ())

@@ -1,0 +1,94 @@
+(** A paged buffer pool with a fixed frame budget.
+
+    Simulates bounded buffer memory over the in-heap engine: pages are
+    identified as [(owner, page_number)] pairs, residency is tracked in
+    an LRU list ({!Lru}), and only the {e charging} is real — a miss
+    pays one sequential page through {!Iosim.charge_page_in}, evicting
+    a dirty frame pays {!Iosim.charge_page_out}, and hits are free.
+    Both charge sites draw from the fault injector, so out-of-core
+    execution composes with the fault and crash harnesses.
+
+    Disabled by default ([frames () = None]); every access is then a
+    no-op and the engine charges exactly as it did before this module
+    existed.  Enable with {!set_frames}, [--buffer-pages]/[--buffer-mb]
+    on the CLI, or the [NRA_BUFFER_PAGES] environment variable ("[N]"
+    frames, "[0]" disabled, or "[32mb]"-style budgets converted at the
+    configured {!Iosim} page size).
+
+    Global and single-threaded, like {!Iosim}: worker domains never
+    touch the pool (spill decisions are made before the parallel
+    kernels run; see docs/STORAGE.md). *)
+
+type stats = {
+  hits : int;  (** accesses satisfied by a resident frame (free) *)
+  misses : int;  (** accesses that had to page in or allocate a frame *)
+  evictions : int;  (** frames reclaimed to respect the budget *)
+  writebacks : int;  (** dirty victims flushed (each one charged page) *)
+  spilled_partitions : int;
+      (** spill partitions that materialized at least one page *)
+  spilled_pages : int;  (** total pages written across spill partitions *)
+}
+
+val enabled : unit -> bool
+val frames : unit -> int option
+
+val set_frames : int option -> unit
+(** Set the frame budget ([None] disables the pool).  Clears all
+    residency and statistics; budgets below 1 are clamped to 1. *)
+
+val stats : unit -> stats
+
+val reset : unit -> unit
+(** Clear residency and statistics but keep the configured budget.
+    Also runs automatically on every {!Iosim.reset} so cold
+    measurements stay cold. *)
+
+val read : string * int -> unit
+(** Access a page for reading: free on a hit, one charged page-in on a
+    miss (possibly preceded by a dirty writeback to free a frame). *)
+
+val write : string * int -> unit
+(** Access a page for writing: the frame is marked dirty and the cost
+    is deferred to its eventual writeback (write-behind).  A miss does
+    not read the old contents back in (blind write). *)
+
+val pin : string * int -> unit
+(** Make the page resident (charging as {!read} if absent) and exempt
+    it from eviction until {!unpin}.  Pins nest. *)
+
+val unpin : string * int -> unit
+
+val drop : string * int -> unit
+(** Discard a page whose data is dead: the frame is freed with no
+    writeback, even if dirty. *)
+
+val resident : string * int -> bool
+(** Residency test without promoting or charging (for tests). *)
+
+(** Append-only spilled partitions — the unit the grace hash join and
+    the spillable nest write when their build side exceeds the frame
+    budget.  Rows are buffered into pages of [rows_per_page] rows; each
+    full page is a {!write} (dirty frame, written back as the budget
+    forces it out) and each page revisited by [iter] is a {!read}
+    (free if still resident — how a hybrid join's lucky partitions
+    become free — charged otherwise), pinned while its rows are
+    consumed. *)
+module Spill : sig
+  type t
+
+  val create : string -> t
+  (** [create label] — a fresh empty partition; the label only
+      namespaces page identities for debugging. *)
+
+  val add : t -> Nra_relational.Row.t -> unit
+  val length : t -> int
+
+  val finish : t -> unit
+  (** Flush the final partial page.  Call once, before [iter]. *)
+
+  val iter : t -> (Nra_relational.Row.t -> unit) -> unit
+
+  val free : t -> unit
+  (** Drop every page of the partition from the pool (no writebacks)
+      and release the row storage. *)
+end

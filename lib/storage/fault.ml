@@ -1,5 +1,11 @@
 exception Io_fault of string
 
+exception Crash of string
+(* A simulated power loss at a fault point: unlike Io_fault it is NOT
+   caught by [with_retries] (you cannot retry a dead process) and must
+   not be caught by any in-path cleanup handler — the WAL recovery
+   protocol (lib/storage/wal.ml) is what survives it. *)
+
 type config = {
   probability : float;
   seed : int;
@@ -37,6 +43,11 @@ let zero_stats =
 let current = ref default_config
 let st = ref zero_stats
 
+(* kill-at-fault-point harness state (see below) *)
+let draw_count = ref 0
+let crash_armed : int option ref = ref None
+let fault_armed : int option ref = ref None
+
 (* splitmix64: every draw is a function of (seed, draw index) only, so a
    fault trace is reproducible from the config alone *)
 let prng_state = ref 0L
@@ -73,7 +84,10 @@ let configure ?seed ?max_retries ?backoff_ms ?alloc_probability probability =
         clamp (Option.value alloc_probability ~default:c.alloc_probability);
     };
   prng_state := Int64.of_int seed;
-  st := zero_stats
+  st := zero_stats;
+  draw_count := 0;
+  crash_armed := None;
+  fault_armed := None
 
 let disable () =
   current := { !current with probability = 0.0; alloc_probability = 0.0 }
@@ -81,7 +95,36 @@ let disable () =
 let stats () = !st
 let reset_stats () = st := zero_stats
 
+(* ---------- the deterministic kill-at-fault-point harness ----------
+
+   Every [inject] call is a numbered fault point, counted even when
+   injection is disabled.  The crash-recovery corpus (test/test_wal.ml)
+   enumerates a statement's points once, then re-runs it with a crash —
+   or a guaranteed one-shot fault — armed at each point in turn.  Both
+   armings are one-shot: they disarm as they fire, so the unwound
+   run's remaining charges are unaffected. *)
+
+let draws () = !draw_count
+let arm_crash ~at = crash_armed := Some at
+let arm_fault ~at = fault_armed := Some at
+
+let disarm () =
+  crash_armed := None;
+  fault_armed := None
+
 let inject site =
+  incr draw_count;
+  (match !crash_armed with
+  | Some n when !draw_count >= n ->
+      crash_armed := None;
+      raise (Crash site)
+  | _ -> ());
+  (match !fault_armed with
+  | Some n when !draw_count >= n ->
+      fault_armed := None;
+      st := { !st with injected = !st.injected + 1 };
+      raise (Io_fault site)
+  | _ -> ());
   let c = !current in
   if c.probability > 0.0 && draw () < c.probability then begin
     st := { !st with injected = !st.injected + 1 };

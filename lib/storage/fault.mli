@@ -27,6 +27,14 @@ exception Io_fault of string
 (** A (simulated) failed storage read.  The payload names the site,
     e.g. ["scan"], ["probe"], ["fetch"]. *)
 
+exception Crash of string
+(** A simulated {e power loss} at a fault point, armed by
+    {!arm_crash}.  Unlike {!Io_fault} it is not caught by
+    {!with_retries} (a dead process cannot retry), must not be caught
+    by in-path cleanup handlers, and escapes the {!Nra} facade raw —
+    the write-ahead log's recovery ({!Wal.recover}) is the only thing
+    that survives it.  The payload names the site. *)
+
 type config = {
   probability : float;  (** per-read fault probability in [0, 1] *)
   seed : int;  (** PRNG seed; same seed + same read sequence = same faults *)
@@ -65,6 +73,25 @@ val inject : string -> unit
 (** Called by the storage read paths: draws the PRNG and raises
     [Io_fault site] with the configured probability.  Free (no draw)
     when disabled. *)
+
+val draws : unit -> int
+(** Total {!inject} calls so far — fault points are numbered even when
+    injection is disabled, so a crash-recovery corpus can enumerate a
+    statement's points deterministically (run it once, diff {!draws})
+    and then re-run with {!arm_crash} at each point in turn. *)
+
+val arm_crash : at:int -> unit
+(** One-shot: raise {!Crash} at the first fault point whose
+    {!draws}-count reaches [at], then disarm. *)
+
+val arm_fault : at:int -> unit
+(** One-shot: raise {!Io_fault} at the first fault point whose
+    {!draws}-count reaches [at], then disarm — a {e guaranteed} fault
+    at a chosen point regardless of [probability] (combine with
+    [max_retries = 0] to force an escape there). *)
+
+val disarm : unit -> unit
+(** Clear both armings. *)
 
 val with_retries : (unit -> 'a) -> 'a
 (** Run the thunk, retrying up to [max_retries] extra attempts when it

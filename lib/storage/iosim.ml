@@ -4,6 +4,7 @@ type config = {
   t_rand_ms : float;
   t_fetch_ms : float;
   cache_pages : int;
+  page_size_kb : float;
 }
 
 (* t_fetch is calibrated from the paper's own numbers: its Query 1 run
@@ -18,6 +19,10 @@ let default_config =
     (* ~3% of a scale-0.05 database (≈5K pages), mirroring the paper's
        32 MB cache over 1 GB of data *)
     cache_pages = 160;
+    (* the 2005 commodity default; --page-size-kb overrides it, so a
+       memory budget given in MB (the paper's "32 MB buffer cache")
+       converts to an exact frame count instead of a hard-coded one *)
+    page_size_kb = 8.0;
   }
 
 let current = ref default_config
@@ -38,15 +43,27 @@ type counters = {
 
 let state = ref { seq_pages = 0; rand_pages = 0; fetched_rows = 0 }
 
+(* Consumers above this module (the nra.storage buffer pool) register
+   here so [reset] clears their residency and counters too: suites that
+   measure "cold" charges per run call [reset] between runs and must
+   get a cold pool as well as zeroed counters. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset f = reset_hooks := f :: !reset_hooks
+
 let reset () =
   state := { seq_pages = 0; rand_pages = 0; fetched_rows = 0 };
   Lru.clear !cache;
   hits := 0;
-  misses := 0
+  misses := 0;
+  List.iter (fun f -> f ()) !reset_hooks
 
 let pages rows =
   let rpp = !current.rows_per_page in
   (rows + rpp - 1) / rpp
+
+let frames_for_mb mb =
+  let kb_per_page = Float.max 0.125 !current.page_size_kb in
+  max 1 (int_of_float (Float.ceil (mb *. 1024.0 /. kb_per_page)))
 
 (* Fault.inject sits at the head of every charge function, before any
    counter or cache mutation, so a Fault.with_retries re-run never
@@ -84,6 +101,25 @@ let cache_misses () = !misses
 let charge_fetch_rows rows =
   Fault.inject "transfer";
   state := { !state with fetched_rows = !state.fetched_rows + rows }
+
+(* Buffer-pool page traffic (nra.storage Bufpool) and WAL appends.
+   All three are sequential-page charges: a page-in reads a spill
+   partition (or a table extent) front to back, a writeback flushes one
+   frame to its partition file, and the log is append-only.  Distinct
+   fault sites keep the traffic classes tellable apart in fault traces
+   and in the crash corpus. *)
+
+let charge_page_in n =
+  Fault.inject "page-in";
+  state := { !state with seq_pages = !state.seq_pages + n }
+
+let charge_page_out n =
+  Fault.inject "page-out";
+  state := { !state with seq_pages = !state.seq_pages + n }
+
+let charge_wal_append ~pages:n =
+  Fault.inject "wal";
+  state := { !state with seq_pages = !state.seq_pages + n }
 
 let counters () = !state
 

@@ -39,6 +39,11 @@ type config = {
           random reads ([charge_row_fetch]); 0 disables caching.  The
           paper's environment kept ≈3% of the database cached; pick
           [cache_pages] accordingly for the scale in use. *)
+  page_size_kb : float;
+      (** size of one simulated page in KB (default 8.0) — the unit
+          {!frames_for_mb} divides a memory budget by, so the paper's
+          "32 MB buffer cache" is expressible as an exact frame count
+          ([--page-size-kb] on the CLI). *)
 }
 
 val default_config : config
@@ -51,6 +56,20 @@ val config : unit -> config
 val set_config : config -> unit
 
 val reset : unit -> unit
+
+val on_reset : (unit -> unit) -> unit
+(** Register a hook run by every {!reset}: the buffer pool above this
+    module clears its residency and counters through it, so "cold"
+    measurements stay cold after a reset. *)
+
+val pages : int -> int
+(** [pages rows] — how many pages that many rows occupy
+    (ceiling division by [rows_per_page]). *)
+
+val frames_for_mb : float -> int
+(** A memory budget in MB converted to whole frames at the configured
+    [page_size_kb] — e.g. the paper's 32 MB cache at 8 KB pages is
+    exactly 4096 frames. *)
 
 val charge_scan_rows : int -> unit
 (** Sequential scan of a relation with that many rows. *)
@@ -73,6 +92,18 @@ val cache_misses : unit -> int
 
 val charge_fetch_rows : int -> unit
 (** Engine → procedure transfer of intermediate tuples. *)
+
+val charge_page_in : int -> unit
+(** Buffer-pool miss: [n] pages read back from a spill partition or a
+    table extent (sequential; fault site ["page-in"]). *)
+
+val charge_page_out : int -> unit
+(** Buffer-pool writeback: [n] dirty frames flushed on eviction
+    (fault site ["page-out"]). *)
+
+val charge_wal_append : pages:int -> unit
+(** Append that many pages to the write-ahead log (fault site
+    ["wal"]). *)
 
 type counters = {
   seq_pages : int;

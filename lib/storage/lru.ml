@@ -62,6 +62,24 @@ let touch t page =
         if t.size > t.capacity then evict_lru t;
         false
 
+let remove t page =
+  match Hashtbl.find_opt t.tbl page with
+  | None -> ()
+  | Some n ->
+      detach t n;
+      Hashtbl.remove t.tbl page;
+      t.size <- t.size - 1
+
+(* Least-recent entry satisfying [ok] — the buffer pool's eviction
+   scan, which must skip pinned frames.  Walks from the tail, so the
+   common case (the LRU entry itself is evictable) is O(1). *)
+let find_victim t ok =
+  let rec go = function
+    | None -> None
+    | Some n -> if ok n.page then Some n.page else go n.prev
+  in
+  go t.tail
+
 let clear t =
   Hashtbl.reset t.tbl;
   t.head <- None;

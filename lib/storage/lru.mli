@@ -16,4 +16,13 @@ val mem : t -> int -> bool
 
 val size : t -> int
 val capacity : t -> int
+
+val remove : t -> int -> unit
+(** Drop an entry without evicting anything else; no-op if absent. *)
+
+val find_victim : t -> (int -> bool) -> int option
+(** The least-recently-used entry satisfying the predicate, or [None]
+    if every entry fails it — the buffer pool's pin-aware eviction
+    scan (O(1) when the true LRU entry is evictable). *)
+
 val clear : t -> unit

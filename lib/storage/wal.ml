@@ -1,0 +1,150 @@
+(* Write-ahead log with undo.
+
+   The engine mutates the catalog in place (Catalog.update_rows /
+   register / drop_table), so durability here means: before any
+   mutation is applied, a physical log record holding the before- and
+   after-image is appended (log-before-write), and the statement ends
+   with a Commit record.  If execution dies mid-statement:
+
+   - an ordinary escaped fault (Fault.Io_fault past its retry budget)
+     is handled inline: the facade calls [abort], which re-applies the
+     before-images in reverse order and appends an Abort record — the
+     same pre-statement atomicity DML always had, now driven by the
+     log instead of ad-hoc snapshots;
+
+   - a power-loss crash (Fault.Crash from the kill-at-fault-point
+     harness) skips all cleanup by design.  The catalog is left in
+     whatever torn state the crash produced, and [recover] repairs it:
+     REDO every committed statement's ops in log order, then UNDO every
+     unfinished statement's ops in reverse order.  Both passes are
+     idempotent (images are absolute, not deltas), so a crash during
+     recovery just means running [recover] again.
+
+   Like everything in the simulation the log "disk" is process memory;
+   what is real is the charging: every append pays sequential pages
+   through Iosim.charge_wal_append before the record becomes durable,
+   and that charge site draws from the fault injector.  A fault or
+   crash at the append therefore hits *before* the record exists,
+   which is exactly the torn-log case recovery must tolerate.  The
+   rollback paths ([abort], [recover]) never charge and never draw —
+   undo must not itself fail. *)
+
+open Nra_relational
+
+type op =
+  | Update of { table : string; before : Row.t array; after : Row.t array }
+  | Create of Table.t
+  | Drop of Table.t
+
+type record =
+  | Begin of int
+  | Op of int * op
+  | Commit of int
+  | Abort of int
+
+type stmt = int
+
+(* newest record first; replay reverses *)
+let log : record list ref = ref []
+let next = ref 0
+let appended = ref 0
+
+let records () = !appended
+
+let reset () =
+  log := [];
+  next := 0;
+  appended := 0
+
+(* Charge first, append second: if the charge faults (or the crash
+   harness fires there), the record was never written — the torn-log
+   prefix discipline recovery relies on. *)
+let append ~pages r =
+  Fault.with_retries (fun () -> Iosim.charge_wal_append ~pages);
+  log := r :: !log;
+  incr appended
+
+let begin_stmt () =
+  let id = !next in
+  incr next;
+  append ~pages:1 (Begin id);
+  id
+
+let log_update id ~table ~before ~after =
+  let pages =
+    max 1 (Iosim.pages (Array.length before + Array.length after))
+  in
+  append ~pages (Op (id, Update { table; before; after }))
+
+let log_create id t =
+  let pages = max 1 (Iosim.pages (Table.cardinality t)) in
+  append ~pages (Op (id, Create t))
+
+let log_drop id t = append ~pages:1 (Op (id, Drop t))
+let commit id = append ~pages:1 (Commit id)
+
+(* Apply one op's before-image — shared by inline abort and the
+   recovery undo pass.  Absolute images make this idempotent, and
+   guards on table existence make it safe against torn states (e.g. a
+   crash after the Create record but before the register). *)
+let undo_op cat = function
+  | Update { table; before; _ } ->
+      if Catalog.mem cat table then Catalog.update_rows cat table before
+  | Create t ->
+      if Catalog.mem cat (Table.name t) then
+        Catalog.drop_table cat (Table.name t)
+  | Drop t -> Catalog.register cat t
+
+let redo_op cat = function
+  | Update { table; after; _ } ->
+      if Catalog.mem cat table then Catalog.update_rows cat table after
+  | Create t -> Catalog.register cat t
+  | Drop t ->
+      if Catalog.mem cat (Table.name t) then
+        Catalog.drop_table cat (Table.name t)
+
+(* ops of one statement, newest first (= undo order) *)
+let ops_of id =
+  List.filter_map
+    (function Op (i, op) when i = id -> Some op | _ -> None)
+    !log
+
+let abort ?(applied = true) cat id =
+  if applied then List.iter (undo_op cat) (ops_of id);
+  (* uncharged: rollback must not fault.  The Abort record matters to
+     recovery — without it, replay would undo this statement a second
+     time and clobber later committed work. *)
+  log := Abort id :: !log;
+  incr appended
+
+type recovery = { redone : int; undone : int }
+
+let recover cat =
+  let chrono = List.rev !log in
+  let committed = Hashtbl.create 16 and ended = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Commit id ->
+          Hashtbl.replace committed id ();
+          Hashtbl.replace ended id ()
+      | Abort id -> Hashtbl.replace ended id ()
+      | _ -> ())
+    chrono;
+  let redone = ref 0 in
+  List.iter
+    (function
+      | Op (id, op) when Hashtbl.mem committed id ->
+          redo_op cat op;
+          incr redone
+      | _ -> ())
+    chrono;
+  let undone = ref 0 in
+  (* !log is newest-first, which is exactly reverse chronological *)
+  List.iter
+    (function
+      | Op (id, op) when not (Hashtbl.mem ended id) ->
+          undo_op cat op;
+          incr undone
+      | _ -> ())
+    !log;
+  { redone = !redone; undone = !undone }

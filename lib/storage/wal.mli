@@ -1,0 +1,68 @@
+(** Write-ahead log with undo.
+
+    Physical logging over the in-place catalog: before a DML statement
+    mutates a table, it appends a record holding the full before- and
+    after-image (log-before-write), and finishes with a Commit record.
+    Every append is charged through {!Iosim.charge_wal_append} {e
+    before} the record becomes durable — so a fault or crash at the
+    append leaves a clean torn-log prefix, the case recovery is built
+    to tolerate.
+
+    Two failure paths, matching the two ways execution can die:
+
+    - {!abort} — inline rollback when an {!Fault.Io_fault} escapes its
+      retry budget: before-images re-applied in reverse order, then an
+      Abort record.  Preserves DML's pre-statement atomicity.
+    - {!recover} — crash recovery after {!Fault.Crash} (the
+      kill-at-fault-point harness, which bypasses all cleanup): REDO
+      committed statements in log order, then UNDO unfinished ones in
+      reverse.  Idempotent — images are absolute — so a crash during
+      recovery just means recovering again.
+
+    Rollback paths never charge and never draw faults: undo must not
+    itself fail.  Global and single-threaded, like the catalog. *)
+
+type stmt
+
+val begin_stmt : unit -> stmt
+(** Open a statement (appends a Begin record, one charged page). *)
+
+val log_update :
+  stmt ->
+  table:string ->
+  before:Nra_relational.Row.t array ->
+  after:Nra_relational.Row.t array ->
+  unit
+(** Record a full-table image swap; charged at the paged size of both
+    images.  Must be appended {e before} the catalog mutation. *)
+
+val log_create : stmt -> Table.t -> unit
+(** Record a table creation (undo drops it; redo re-registers it). *)
+
+val log_drop : stmt -> Table.t -> unit
+(** Record a table drop, capturing the whole table for undo. *)
+
+val commit : stmt -> unit
+
+val abort : ?applied:bool -> Catalog.t -> stmt -> unit
+(** Inline undo: re-apply the statement's before-images in reverse
+    order, then append an Abort record.  Uncharged and fault-free.
+    [~applied:false] (the statement died before its mutation ran —
+    e.g. a fault on the log append itself, or the mutation's own
+    validation) skips the undo but still appends the Abort record,
+    which is load-bearing either way: it tells {!recover} this
+    statement needs no undo. *)
+
+type recovery = { redone : int; undone : int }
+
+val recover : Catalog.t -> recovery
+(** Replay the log against the catalog: redo every committed
+    statement's ops in log order, then undo every statement that
+    neither committed nor aborted, in reverse order.  Uncharged,
+    fault-free, idempotent. *)
+
+val records : unit -> int
+(** Total records appended since the last {!reset} (the WAL counter
+    reported by [explain --costs]). *)
+
+val reset : unit -> unit

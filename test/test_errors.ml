@@ -6,6 +6,11 @@
 
 open Nra
 
+(* the I/O-fault and budget-kill cases assume every scan touches
+   storage; a CI-wide NRA_BUFFER_PAGES run would keep hot pages
+   resident and free, so pin the pool off *)
+let () = Bufpool.set_frames None
+
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in

@@ -7,6 +7,11 @@
 open Nra
 module Iosim = Nra_storage.Iosim
 
+(* these tests assume every scan touches storage (a permanent fault
+   must escape, retries must draw); a CI-wide NRA_BUFFER_PAGES run
+   would keep hot pages resident and free, so pin the pool off *)
+let () = Bufpool.set_frames None
+
 let with_faults ?seed ?max_retries ?backoff_ms p f =
   Fault.configure ?seed ?max_retries ?backoff_ms p;
   Fun.protect ~finally:Fault.disable f

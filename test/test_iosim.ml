@@ -21,6 +21,7 @@ let cfg =
     t_rand_ms = 10.0;
     t_fetch_ms = 0.5;
     cache_pages = 0;
+    page_size_kb = 8.0;
   }
 
 let test_scan_pages () =

@@ -1,0 +1,189 @@
+(* Out-of-core execution: buffer-pool unit tests and the
+   spill-equivalence matrix.
+
+   The matrix is the PR's acceptance bar: every strategy, over the
+   whole subquery corpus, must return byte-identical CSV at a tiny
+   frame budget (grace join / spilled nest engaged), at the paper's
+   32 MB working-memory point, and unbounded — all with fault
+   injection on, against a pool-disabled reference.  The page size is
+   shrunk so the six-row fixtures genuinely overflow the tiny budget. *)
+
+open Nra
+module B = Nra.Bufpool
+module I = Nra.Iosim
+
+let () = Fault.disable ()
+
+let with_pool ?(rows_per_page = 2) frames f =
+  let saved = I.config () in
+  I.set_config { saved with I.rows_per_page };
+  I.reset ();
+  B.set_frames frames;
+  Fun.protect
+    ~finally:(fun () ->
+      B.set_frames None;
+      I.set_config saved;
+      I.reset ();
+      Fault.disable ())
+    f
+
+(* ---------- buffer-pool unit tests ---------- *)
+
+let test_lru_eviction () =
+  with_pool (Some 2) (fun () ->
+      B.read ("t", 0);
+      B.read ("t", 1);
+      B.read ("t", 0);
+      (* miss: the budget is full, page 1 is the cold victim *)
+      B.read ("t", 2);
+      Alcotest.(check bool) "recent page resident" true (B.resident ("t", 0));
+      Alcotest.(check bool) "cold page evicted" false (B.resident ("t", 1));
+      B.read ("t", 0);
+      B.read ("t", 1);
+      let s = B.stats () in
+      Alcotest.(check int) "hits" 2 s.B.hits;
+      Alcotest.(check int) "misses" 4 s.B.misses;
+      Alcotest.(check int) "evictions" 2 s.B.evictions;
+      Alcotest.(check int) "clean victims never write back" 0 s.B.writebacks;
+      (* every miss paid exactly one sequential page *)
+      Alcotest.(check int) "misses charged" 4 (I.counters ()).I.seq_pages)
+
+let test_pin_blocks_eviction () =
+  with_pool (Some 2) (fun () ->
+      B.pin ("t", 0);
+      B.read ("t", 1);
+      (* page 0 is the LRU victim but pinned: 1 must go instead *)
+      B.read ("t", 2);
+      Alcotest.(check bool) "pinned page survives" true (B.resident ("t", 0));
+      Alcotest.(check bool) "unpinned page evicted" false (B.resident ("t", 1));
+      B.unpin ("t", 0);
+      B.read ("t", 3);
+      Alcotest.(check bool) "unpinned page evictable" false
+        (B.resident ("t", 0)))
+
+let test_dirty_writeback () =
+  with_pool (Some 1) (fun () ->
+      (* write-behind: the write itself is free... *)
+      B.write ("t", 0);
+      Alcotest.(check int) "blind write uncharged" 0 (I.counters ()).I.seq_pages;
+      (* ...until eviction flushes it: one page out + one page in *)
+      B.read ("t", 1);
+      let s = B.stats () in
+      Alcotest.(check int) "dirty victim written back" 1 s.B.writebacks;
+      Alcotest.(check int) "writeback + miss charged" 2
+        (I.counters ()).I.seq_pages;
+      (* dropping a dead dirty page costs nothing *)
+      B.write ("t", 2);
+      B.drop ("t", 2);
+      Alcotest.(check int) "drop skips the writeback" 2
+        (I.counters ()).I.seq_pages;
+      Alcotest.(check bool) "dropped page gone" false (B.resident ("t", 2)))
+
+let test_spill_roundtrip () =
+  with_pool ~rows_per_page:3 (Some 2) (fun () ->
+      let sp = B.Spill.create "unit" in
+      let rows = Array.init 8 (fun i -> [| Value.Int i; Value.Int (i * i) |]) in
+      Array.iter (B.Spill.add sp) rows;
+      B.Spill.finish sp;
+      Alcotest.(check int) "length" 8 (B.Spill.length sp);
+      let got = ref [] in
+      B.Spill.iter sp (fun r -> got := r :: !got);
+      let got = Array.of_list (List.rev !got) in
+      Alcotest.(check bool) "rows round-trip in order" true (got = rows);
+      let s = B.stats () in
+      Alcotest.(check int) "one partition" 1 s.B.spilled_partitions;
+      (* ceil(8/3) = 3 pages *)
+      Alcotest.(check int) "pages" 3 s.B.spilled_pages;
+      B.Spill.free sp)
+
+let test_reset_hooks () =
+  with_pool (Some 4) (fun () ->
+      B.read ("t", 0);
+      Alcotest.(check bool) "resident before reset" true (B.resident ("t", 0));
+      (* cold measurements reset the I/O model; residency must go too *)
+      I.reset ();
+      Alcotest.(check bool) "Iosim.reset clears residency" false
+        (B.resident ("t", 0));
+      Alcotest.(check int) "stats cleared" 0 (B.stats ()).B.misses;
+      Alcotest.(check bool) "budget survives" true (B.frames () = Some 4))
+
+let test_disabled_is_free () =
+  B.set_frames None;
+  I.reset ();
+  B.read ("t", 0);
+  B.write ("t", 1);
+  B.pin ("t", 2);
+  B.unpin ("t", 2);
+  Alcotest.(check int) "disabled pool never charges" 0
+    (I.counters ()).I.seq_pages;
+  Alcotest.(check int) "disabled pool never counts" 0 (B.stats ()).B.misses
+
+(* ---------- the spill-equivalence matrix ---------- *)
+
+let budgets =
+  [
+    ("tiny", Some 2);
+    ("paper-32mb", Some (I.frames_for_mb 32.0));
+    ("unbounded", None);
+  ]
+
+let outcome cat strategy sql =
+  match Nra.query ~strategy cat sql with
+  | Ok rel -> "ok:" ^ Relation.to_csv rel
+  | Error m -> "error:" ^ m
+
+let test_spill_equivalence () =
+  let saved = I.config () in
+  (* two rows per page so six-row tables overflow a two-frame budget *)
+  I.set_config { saved with I.rows_per_page = 2 };
+  Fault.configure ~seed:23 0.02;
+  let spilled = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      B.set_frames None;
+      I.set_config saved;
+      I.reset ();
+      Fault.disable ())
+  @@ fun () ->
+  let cat = Test_support.emp_dept_catalog () in
+  List.iter
+    (fun sql ->
+      List.iter
+        (fun strategy ->
+          B.set_frames None;
+          let reference = outcome cat strategy sql in
+          List.iter
+            (fun (bname, frames) ->
+              B.set_frames frames;
+              let got = outcome cat strategy sql in
+              spilled := !spilled + (B.stats ()).B.spilled_partitions;
+              Alcotest.(check string)
+                (Printf.sprintf "%s / %s / %s"
+                   (Nra.strategy_to_string strategy)
+                   bname sql)
+                reference got)
+            budgets)
+        Test_support.all_strategies)
+    Test_support.subquery_corpus;
+  (* the matrix must actually exercise the spill paths *)
+  Alcotest.(check bool) "some partitions spilled" true (!spilled > 0)
+
+let () =
+  Alcotest.run "outofcore"
+    [
+      ( "bufpool",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "pin blocks eviction" `Quick
+            test_pin_blocks_eviction;
+          Alcotest.test_case "dirty writeback" `Quick test_dirty_writeback;
+          Alcotest.test_case "spill round-trip" `Quick test_spill_roundtrip;
+          Alcotest.test_case "reset hooks" `Quick test_reset_hooks;
+          Alcotest.test_case "disabled is free" `Quick test_disabled_is_free;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "strategies x budgets x faults" `Quick
+            test_spill_equivalence;
+        ] );
+    ]

@@ -6,6 +6,12 @@
    fault) leaving session and cache consistent. *)
 
 open Nra
+
+(* these tests pin exact simulated-I/O budgets (queue timeouts, the
+   statement a session budget kills), so a CI-wide NRA_BUFFER_PAGES
+   run must not add buffer-pool charges on top *)
+let () = Bufpool.set_frames None
+
 module Server = Nra_server.Server
 module Admission = Nra_server.Admission
 module Plan_cache = Nra_server.Plan_cache

@@ -1,0 +1,235 @@
+(* Crash-recovery corpus for the write-ahead log.
+
+   For every DML shape we first run the statement cleanly on a fresh
+   catalog, counting its fault points via [Fault.draws].  Then, for
+   each point k, we re-run on another fresh catalog with a crash armed
+   at exactly point k ([Fault.arm_crash]), catch the simulated power
+   loss, and prove [Wal.recover] restores the exact pre-statement
+   catalog (byte-identical CSV of every table) — and that recovering
+   again is a no-op (replay is idempotent, images are absolute).
+
+   A second pass arms an escaping [Io_fault] (retries zeroed) at every
+   point instead: the facade's inline [Wal.abort] must leave the same
+   pre-statement state, and a later [recover] must change nothing
+   (the Abort record tells it the statement needs no undo). *)
+
+open Nra
+
+(* the harness numbers fault points itself; a CI-wide NRA_FAULT_INJECT
+   run must not perturb the draw sequence *)
+let () = Fault.disable ()
+
+let fingerprint cat =
+  Catalog.tables cat
+  |> List.map (fun t -> (Table.name t, Relation.to_csv (Table.relation t)))
+  |> List.sort compare
+  |> List.map (fun (n, csv) -> n ^ "\n" ^ csv)
+  |> String.concat "\n====\n"
+
+(* fresh world: catalog rebuilt, WAL emptied, draw counter re-zeroed.
+   Pool residency is cleared too (a CI run may enable NRA_BUFFER_PAGES):
+   warm pages skip their charge draws, so the dry run and the armed
+   re-run must both start cold for the point numbering to line up. *)
+let fresh ?(max_retries = Fault.default_config.Fault.max_retries) () =
+  Wal.reset ();
+  Bufpool.reset ();
+  Fault.configure ~max_retries 0.0;
+  Test_support.emp_dept_catalog ()
+
+let exec_ok cat sql =
+  match Nra.exec cat sql with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "statement %S failed: %s" sql m
+
+(* (name, setup statements run un-armed, the statement under test) —
+   one entry per DML shape the facade logs *)
+let dml_corpus =
+  [
+    ("create", [], "create table scratch (id int, v int, primary key (id))");
+    ( "insert-values",
+      [],
+      "insert into emp values (7, 'gil', 2, 55, 1), (8, 'hal', 3, 45, 5)" );
+    ( "insert-select",
+      [ "create table hipay (emp_id int, salary int, primary key (emp_id))" ],
+      "insert into hipay select emp_id, salary from emp where salary >= 70" );
+    ("delete", [], "delete from emp where salary < 65");
+    ( "delete-subquery",
+      [],
+      "delete from project where not exists (select * from emp where \
+       emp.emp_id = project.lead_emp and emp.salary >= 70)" );
+    ("update", [], "update emp set salary = salary + 10 where dept_id = 1");
+    ( "update-subquery",
+      [],
+      "update dept set budget = 0 where not exists (select * from emp where \
+       emp.dept_id = dept.dept_id and emp.salary >= 70)" );
+    ("drop", [], "drop table project");
+  ]
+
+(* count the statement's fault points with a clean dry run *)
+let count_points setup sql =
+  let cat = fresh () in
+  List.iter (exec_ok cat) setup;
+  let d0 = Fault.draws () in
+  exec_ok cat sql;
+  let n = Fault.draws () - d0 in
+  Alcotest.(check bool) (sql ^ ": draws fault points") true (n > 0);
+  n
+
+let test_crash_recovery () =
+  List.iter
+    (fun (name, setup, sql) ->
+      let n = count_points setup sql in
+      for k = 1 to n do
+        let cat = fresh () in
+        List.iter (exec_ok cat) setup;
+        let before = fingerprint cat in
+        Fault.arm_crash ~at:(Fault.draws () + k);
+        (match Nra.exec cat sql with
+        | exception Fault.Crash _ -> ()
+        | Ok _ ->
+            Alcotest.failf "%s: crash at point %d/%d did not fire" name k n
+        | Error m ->
+            Alcotest.failf "%s: crash at point %d/%d surfaced as error: %s"
+              name k n m);
+        Fault.disarm ();
+        ignore (Wal.recover cat);
+        Alcotest.(check string)
+          (Printf.sprintf "%s: recovered @%d/%d" name k n)
+          before (fingerprint cat);
+        (* recovery is idempotent: recovering again changes nothing *)
+        ignore (Wal.recover cat);
+        Alcotest.(check string)
+          (Printf.sprintf "%s: recover twice @%d/%d" name k n)
+          before (fingerprint cat)
+      done)
+    dml_corpus
+
+let test_inline_abort () =
+  List.iter
+    (fun (name, setup, sql) ->
+      let n = count_points setup sql in
+      for k = 1 to n do
+        (* retries zeroed so the armed fault escapes and takes the
+           facade's inline-abort path instead of the crash path *)
+        let cat = fresh ~max_retries:0 () in
+        List.iter (exec_ok cat) setup;
+        let before = fingerprint cat in
+        Fault.arm_fault ~at:(Fault.draws () + k);
+        (match Nra.exec cat sql with
+        | Error _ -> ()
+        | Ok _ ->
+            Alcotest.failf "%s: fault at point %d/%d was absorbed" name k n);
+        Fault.disarm ();
+        Alcotest.(check string)
+          (Printf.sprintf "%s: aborted inline @%d/%d" name k n)
+          before (fingerprint cat);
+        (* the Abort record makes recovery a no-op afterwards *)
+        ignore (Wal.recover cat);
+        Alcotest.(check string)
+          (Printf.sprintf "%s: recover after abort @%d/%d" name k n)
+          before (fingerprint cat)
+      done)
+    dml_corpus
+
+let test_transient_fault_absorbed () =
+  (* with the default retry budget an armed one-shot fault is
+     transient: the retry succeeds and the statement completes *)
+  List.iter
+    (fun (name, setup, sql) ->
+      let clean = fresh () in
+      List.iter (exec_ok clean) setup;
+      exec_ok clean sql;
+      let expected = fingerprint clean in
+      let cat = fresh () in
+      List.iter (exec_ok cat) setup;
+      Fault.arm_fault ~at:(Fault.draws () + 1);
+      exec_ok cat sql;
+      Fault.disarm ();
+      Alcotest.(check string)
+        (name ^ ": retried to completion")
+        expected (fingerprint cat))
+    dml_corpus
+
+let test_multi_statement_recovery () =
+  (* commit one statement, crash inside the next: recovery must land on
+     the state after the first, before the second *)
+  let stmt1 = "insert into emp values (7, 'gil', 2, 55, 1)" in
+  let stmt2 = "update emp set salary = salary + 10 where dept_id = 1" in
+  let cat = fresh () in
+  exec_ok cat stmt1;
+  let after1 = fingerprint cat in
+  let d0 = Fault.draws () in
+  exec_ok cat stmt2;
+  let n = Fault.draws () - d0 in
+  for k = 1 to n do
+    let cat = fresh () in
+    exec_ok cat stmt1;
+    Fault.arm_crash ~at:(Fault.draws () + k);
+    (match Nra.exec cat stmt2 with
+    | exception Fault.Crash _ -> ()
+    | _ -> Alcotest.failf "crash at point %d/%d did not fire" k n);
+    Fault.disarm ();
+    ignore (Wal.recover cat);
+    Alcotest.(check string)
+      (Printf.sprintf "multi-statement recovered @%d/%d" k n)
+      after1 (fingerprint cat)
+  done
+
+let test_redo_restores_lost_writes () =
+  (* physical redo: even if the committed statement's effects are lost
+     after the crash (we clobber the table behind the WAL's back),
+     replay re-applies the committed after-image *)
+  let cat = fresh () in
+  exec_ok cat "insert into emp values (7, 'gil', 2, 55, 1)";
+  let committed = fingerprint cat in
+  let d0 = Fault.draws () in
+  exec_ok cat "delete from emp where salary < 65";
+  let n = Fault.draws () - d0 in
+  let cat = fresh () in
+  exec_ok cat "insert into emp values (7, 'gil', 2, 55, 1)";
+  Fault.arm_crash ~at:(Fault.draws () + n);
+  (match Nra.exec cat "delete from emp where salary < 65" with
+  | exception Fault.Crash _ -> ()
+  | _ -> Alcotest.fail "crash at the last point did not fire");
+  Fault.disarm ();
+  (* simulate the volatile state being lost with the crash *)
+  Catalog.update_rows cat "emp" [||];
+  ignore (Wal.recover cat);
+  Alcotest.(check string) "redo rebuilt the committed insert" committed
+    (fingerprint cat)
+
+let test_wal_counters () =
+  let cat = fresh () in
+  Alcotest.(check int) "empty log" 0 (Wal.records ());
+  exec_ok cat "insert into emp values (7, 'gil', 2, 55, 1)";
+  (* Begin + Op + Commit *)
+  Alcotest.(check int) "one statement logs three records" 3 (Wal.records ());
+  (match Nra.query cat "select ename from emp where emp_id = 7" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "queries do not log" 3 (Wal.records ());
+  Wal.reset ();
+  Alcotest.(check int) "reset empties the counter" 0 (Wal.records ())
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "crash",
+        [
+          Alcotest.test_case "kill at every fault point" `Quick
+            test_crash_recovery;
+          Alcotest.test_case "multi-statement" `Quick
+            test_multi_statement_recovery;
+          Alcotest.test_case "redo restores lost writes" `Quick
+            test_redo_restores_lost_writes;
+        ] );
+      ( "abort",
+        [
+          Alcotest.test_case "inline undo at every fault point" `Quick
+            test_inline_abort;
+          Alcotest.test_case "transient faults absorbed" `Quick
+            test_transient_fault_absorbed;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "record counters" `Quick test_wal_counters ] );
+    ]
