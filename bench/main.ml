@@ -684,6 +684,7 @@ let outofcore_sweep () =
             let cpu = Unix.gettimeofday () -. t0 in
             let sim = Iosim.simulated_seconds () in
             let bp = Bufpool.stats () in
+            let gv = Governor.stats () in
             let identical =
               Relation.to_csv rel = List.assoc qname refs
             in
@@ -692,7 +693,7 @@ let outofcore_sweep () =
               "%-12s %-12s %10.3f %10.2f %6d %6d %6d %6d | %b\n%!" bname
               qname cpu sim bp.Bufpool.hits bp.Bufpool.misses
               bp.Bufpool.evictions bp.Bufpool.spilled_partitions identical;
-            (bname, frames, qname, cpu, sim, bp, identical))
+            (bname, frames, qname, cpu, sim, bp, gv, identical))
           runs)
       budgets
   in
@@ -705,7 +706,7 @@ let outofcore_sweep () =
         frames=0 means the pool is disabled\",\n  \"points\": [\n"
        !scale (Iosim.config ()).Iosim.page_size_kb);
   List.iteri
-    (fun i (bname, frames, qname, cpu, sim, bp, identical) ->
+    (fun i (bname, frames, qname, cpu, sim, bp, gv, identical) ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
         (Printf.sprintf
@@ -713,13 +714,20 @@ let outofcore_sweep () =
             %.6f, \"sim_s\": %.4f, \"hits\": %d, \"misses\": %d, \
             \"evictions\": %d, \"writebacks\": %d, \
             \"spilled_partitions\": %d, \"spilled_pages\": %d, \
+            \"governor_hw_bytes\": %d, \"governor_stagings\": %d, \
+            \"governor_spilled_stagings\": %d, \"spill_volume_kb\": %d, \
             \"identical\": %b}"
            (json_string bname)
            (Option.value frames ~default:0)
            (json_string qname) cpu sim bp.Nra.Bufpool.hits
            bp.Nra.Bufpool.misses bp.Nra.Bufpool.evictions
            bp.Nra.Bufpool.writebacks bp.Nra.Bufpool.spilled_partitions
-           bp.Nra.Bufpool.spilled_pages identical))
+           bp.Nra.Bufpool.spilled_pages gv.Nra.Governor.high_water_bytes
+           gv.Nra.Governor.stagings gv.Nra.Governor.spilled_stagings
+           (int_of_float
+              (float_of_int bp.Nra.Bufpool.spilled_pages
+              *. (Iosim.config ()).Iosim.page_size_kb))
+           identical))
     point_rows;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out "BENCH_outofcore.json" in

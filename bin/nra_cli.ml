@@ -260,6 +260,15 @@ let run_query strategy domains scale seed null_rate not_null csv timing
   Option.iter Nra_pool.Pool.set_size domains;
   install_storage psize bpages bmb;
   let cat = make_catalog scale seed null_rate not_null in
+  (* a torn WAL (e.g. a crash fault in a prior in-process run) is
+     repaired before the statement executes *)
+  (match Nra.Wal.recover_if_needed cat with
+  | Some s ->
+      Printf.eprintf
+        "recovered unfinished statement(s) from WAL (%d redone, %d \
+         undone)\n%!"
+        s.Nra.Wal.redone s.Nra.Wal.undone
+  | None -> ());
   (* statistics collection is pure CPU (no Iosim charges), so Auto's
      choice is informed without distorting the reported simulation *)
   if strategy = Nra.Auto then ignore (Nra.exec cat "analyze");
@@ -308,6 +317,22 @@ let run_query strategy domains scale seed null_rate not_null csv timing
             bp.Nra.Bufpool.evictions bp.Nra.Bufpool.writebacks
             bp.Nra.Bufpool.spilled_partitions bp.Nra.Bufpool.spilled_pages
             (Nra.Wal.records ())
+        end;
+        let gv = Nra.Governor.stats () in
+        if gv.Nra.Governor.stagings > 0 then begin
+          let bp = Nra.Bufpool.stats () in
+          Printf.printf
+            "governor: %d staged (%d rows), high-water %d bytes, %d \
+             spilled (%d rows), largest resident %d page(s), spill \
+             volume %d KB\n"
+            gv.Nra.Governor.stagings gv.Nra.Governor.staged_rows
+            gv.Nra.Governor.high_water_bytes
+            gv.Nra.Governor.spilled_stagings gv.Nra.Governor.spilled_rows
+            gv.Nra.Governor.max_resident_pages
+            (int_of_float
+               (float_of_int bp.Nra.Bufpool.spilled_pages
+               *. (Nra_storage.Iosim.config ()).Nra_storage.Iosim
+                  .page_size_kb))
         end
       end;
       if timing then print_robustness_report ();

@@ -219,24 +219,35 @@ let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
       end)
     left_rows;
   Array.iter B.Spill.finish lspills;
-  (* spilled partitions, one at a time: re-read build rows, hash,
-     re-read probe rows, resolve *)
-  Array.iteri
-    (fun k rsp ->
-      Nra_guard.Guard.tick ();
-      let tbl = Hashtbl.create (max 16 (B.Spill.length rsp)) in
-      B.Spill.iter rsp (fun rrow ->
-          Hashtbl.add tbl (Row.hash_on rpos rrow) rrow);
-      B.Spill.iter lspills.(k) (fun packed ->
-          Nra_guard.Guard.tick ();
-          let i =
-            match packed.(0) with Value.Int i -> i | _ -> assert false
-          in
-          let lrow = Array.sub packed 1 (Array.length packed - 1) in
-          matches.(i) <- probe_one tbl ~lpos ~rpos ~residual_pred lrow);
-      B.Spill.free rsp;
-      B.Spill.free lspills.(k))
-    rspills;
+  (* spilled partitions run under the Domain pool, one chunk per
+     partition: workers walk spill data with [iter_raw] (pure heap
+     reads — the pool stays owner-side state) and record the consumed
+     partitions in their ledger; the owner replays each partition's
+     page reads and frees it at the join barrier, in partition order,
+     so charges and fault draws are identical at every pool size.
+     [matches] writes are race-free: each left row lives in exactly
+     one partition, and one partition belongs to exactly one chunk. *)
+  if nparts > 1 then
+    ignore
+      (Pool.parallel_chunks ~min_chunk:1
+         ~n:(nparts - 1)
+         (fun ledger ~lo ~hi ->
+           for k = lo to hi - 1 do
+             Pool.Ledger.tick ledger;
+             let rsp = rspills.(k) in
+             let tbl = Hashtbl.create (max 16 (B.Spill.length rsp)) in
+             B.Spill.iter_raw rsp (fun rrow ->
+                 Hashtbl.add tbl (Row.hash_on rpos rrow) rrow);
+             B.Spill.iter_raw lspills.(k) (fun packed ->
+                 Pool.Ledger.tick ledger;
+                 let i =
+                   match packed.(0) with Value.Int i -> i | _ -> assert false
+                 in
+                 let lrow = Array.sub packed 1 (Array.length packed - 1) in
+                 matches.(i) <- probe_one tbl ~lpos ~rpos ~residual_pred lrow);
+             Pool.Ledger.consumed_spill ledger rsp;
+             Pool.Ledger.consumed_spill ledger lspills.(k)
+           done));
   stats_probes := !stats_probes + n;
   let acc = ref [] in
   for i = 0 to n - 1 do
@@ -264,8 +275,9 @@ let join kind ~on left right =
     let rows =
       match spill with
       | Some frames ->
-          (* out-of-core wins over parallel: the spill path is serial
-             by design (the pool, like Iosim, is owner-side state) *)
+          (* the grace/hybrid path runs its spilled partitions under
+             the Domain pool itself (iter_raw workers + owner-side
+             ledger replay), so out-of-core and parallel compose *)
           join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames
             left_rows right_rows
       | None ->

@@ -13,6 +13,7 @@ module Sorted_index = Nra_storage.Sorted_index
 module Fault = Nra_storage.Fault
 module Iosim = Nra_storage.Iosim
 module Bufpool = Nra_storage.Bufpool
+module Governor = Nra_storage.Governor
 module Wal = Nra_storage.Wal
 module Guard = Nra_guard.Guard
 module Pool = Nra_pool.Pool
@@ -238,26 +239,29 @@ and run_auto_estimates cat t es =
            ~sim_io_ms:(auto_attempt_ms best.Nra_stats.Cost.cost_ms)
            ())
     in
-    let cp = Nra_storage.Iosim.checkpoint () in
-    (* the attempt is a scheduler critical section: on a kill the
-       checkpoint rollback rewinds the global I/O ledger, which is only
-       sound if no concurrently scheduled statement charged it since
-       the checkpoint was taken *)
-    match
-      Guard.with_no_yield (fun () ->
-          Guard.with_budget attempt (fun () -> run_analyzed pick cat t))
-    with
-    | rel -> rel
+    (* the attempt runs under a per-task I/O ledger instead of a
+       global checkpoint: [uncharge] subtracts only the attempt's own
+       charges, so concurrently scheduled statements can interleave
+       freely — no no-yield critical section needed *)
+    let led = Nra_storage.Iosim.push_ledger () in
+    match Guard.with_budget attempt (fun () -> run_analyzed pick cat t) with
+    | rel ->
+        Nra_storage.Iosim.pop_ledger led;
+        rel
     | exception Guard.Killed (Guard.Budget_exceeded _) ->
+        Nra_storage.Iosim.pop_ledger led;
         (* un-charge the aborted attempt: the fallback redoes the
            work, and double-charging would poison both the client's
            budget and any [--time] report *)
-        Nra_storage.Iosim.rollback cp;
+        Nra_storage.Iosim.uncharge led;
         (* if the CLIENT's budget (not the derived one) is what
            blew, degrading cannot help — re-raise for the facade *)
         Guard.recheck ();
         Guard.note_fallback ();
         run_analyzed Nra_optimized cat t
+    | exception e ->
+        Nra_storage.Iosim.pop_ledger led;
+        raise e
 
 let ( let* ) = Result.bind
 module Ast = Nra_sql.Ast
@@ -357,47 +361,76 @@ let run_statement strategy cat stmt =
 
 (* Materialize common table expressions, in order, as temporary catalog
    tables carrying a synthetic __rowid primary key (the engine's
-   carried-key discipline needs one); always deregistered afterwards. *)
+   carried-key discipline needs one).  The materialization is
+   WAL-protected like DML: Begin, a Create record before each temp
+   table registers (log-before-write), Drop records as the temps are
+   dismantled after the body, Commit.  An ordinary error or escaped
+   fault aborts inline — the undo re-drops whatever was registered —
+   and a simulated power loss escapes raw, leaving [Wal.recover] to
+   undo the unfinished statement: a mid-statement crash can no longer
+   leak a temp table into the catalog. *)
 let run_with strategy cat ctes stmt =
+  trap @@ fun () ->
+  let wal = Wal.begin_stmt () in
   let registered = ref [] in
-  Fun.protect
-    ~finally:(fun () ->
+  (* newest-first Table.t list *)
+  let rec go = function
+    | [] -> run_statement strategy cat stmt
+    | (name, cstmt) :: rest ->
+        if Catalog.mem cat name then
+          Error
+            (Exec_error.Invalid
+               (Printf.sprintf "relation %s already exists" name))
+        else
+          let* rel = run_statement strategy cat cstmt in
+          let cols =
+            Nra_relational.Schema.column "__rowid" Ttype.Int
+            :: (Array.to_list
+                  (Nra_relational.Schema.columns (Relation.schema rel))
+               |> List.map (fun (c : Nra_relational.Schema.column) ->
+                      { c with Nra_relational.Schema.table = "" }))
+          in
+          let rows =
+            Array.mapi
+              (fun i row -> Row.concat [| Value.Int i |] row)
+              (Relation.rows rel)
+          in
+          (match Table.create ~name ~key:[ "__rowid" ] cols rows with
+          | table ->
+              Wal.log_create wal table;
+              Catalog.register cat table;
+              registered := table :: !registered;
+              go rest
+          | exception Invalid_argument m -> Error (Exec_error.Invalid m))
+  in
+  (* dismantle the temps under the log, then commit; a fault in the
+     dismantling itself aborts (undo drops the stragglers and
+     re-drops the already-dropped via their Create images) *)
+  let finish ok =
+    match
       List.iter
-        (fun n -> try Catalog.drop_table cat n with Not_found -> ())
-        !registered)
-    (fun () ->
-      let rec go = function
-        | [] -> run_statement strategy cat stmt
-        | (name, cstmt) :: rest ->
-            if Catalog.mem cat name then
-              Error
-                (Exec_error.Invalid
-                   (Printf.sprintf "relation %s already exists" name))
-            else
-              let* rel = run_statement strategy cat cstmt in
-              let cols =
-                Nra_relational.Schema.column "__rowid" Ttype.Int
-                :: (Array.to_list
-                      (Nra_relational.Schema.columns (Relation.schema rel))
-                   |> List.map (fun (c : Nra_relational.Schema.column) ->
-                          { c with Nra_relational.Schema.table = "" }))
-              in
-              let rows =
-                Array.mapi
-                  (fun i row -> Row.concat [| Value.Int i |] row)
-                  (Relation.rows rel)
-              in
-              (match
-                 Table.create ~name ~key:[ "__rowid" ] cols rows
-               with
-              | table ->
-                  Catalog.register cat table;
-                  registered := name :: !registered;
-                  go rest
-              | exception Invalid_argument m ->
-                  Error (Exec_error.Invalid m))
-      in
-      go ctes)
+        (fun tb ->
+          Wal.log_drop wal tb;
+          Catalog.drop_table cat (Table.name tb))
+        !registered
+    with
+    | () ->
+        Wal.commit wal;
+        ok
+    | exception (Fault.Crash _ as e) -> raise e
+    | exception e ->
+        Wal.abort ~applied:true cat wal;
+        raise e
+  in
+  match go ctes with
+  | Ok _ as ok -> finish ok
+  | Error _ as err ->
+      Wal.abort ~applied:true cat wal;
+      err
+  | exception (Fault.Crash _ as e) -> raise e
+  | exception e ->
+      Wal.abort ~applied:true cat wal;
+      raise e
 
 (* ---------- commands ---------- *)
 
@@ -811,6 +844,20 @@ let explain_costs cat sql =
             bp.Bufpool.writebacks bp.Bufpool.spilled_partitions
             bp.Bufpool.spilled_pages (Wal.records ())
         in
+        let gv = Governor.stats () in
+        let governor_line =
+          Printf.sprintf
+            "memory governor (session): %d staged intermediate(s) (%d \
+             row(s)), high-water %d byte(s), %d spilled staging(s) (%d \
+             row(s)), largest resident staging %d page(s); spill volume \
+             %d KB\n"
+            gv.Governor.stagings gv.Governor.staged_rows
+            gv.Governor.high_water_bytes gv.Governor.spilled_stagings
+            gv.Governor.spilled_rows gv.Governor.max_resident_pages
+            (int_of_float
+               (float_of_int bp.Bufpool.spilled_pages
+               *. (Iosim.config ()).Iosim.page_size_kb))
+        in
         let note =
           match !explain_note () with
           | Some line -> "\n" ^ line
@@ -818,10 +865,11 @@ let explain_costs cat sql =
         in
         Ok
           (Printf.sprintf
-             "%s\n%s%sguard events (session): %d budget kill(s), %d \
+             "%s\n%s%s%sguard events (session): %d budget kill(s), %d \
               cancellation(s), %d auto fallback(s)%s"
-             report auto_line storage_line ev.Guard.budget_kills
-             ev.Guard.cancellations ev.Guard.auto_fallbacks note)
+             report auto_line storage_line governor_line
+             ev.Guard.budget_kills ev.Guard.cancellations
+             ev.Guard.auto_fallbacks note)
       with e -> Error (Printexc.to_string e))
 
 let auto_choice cat sql =

@@ -42,10 +42,16 @@ module Bufpool = Nra_storage.Bufpool
 (** The paged buffer pool behind out-of-core execution
     ([--buffer-pages] / [NRA_BUFFER_PAGES]) — see docs/STORAGE.md. *)
 
+module Governor = Nra_storage.Governor
+(** The per-statement memory governor: every staged intermediate is
+    charged rows x width to a live-bytes ledger with a session
+    high-water mark, and stagings that exceed the buffer pool's frame
+    budget spill through {!Bufpool} — see docs/STORAGE.md. *)
+
 module Wal = Nra_storage.Wal
-(** The write-ahead log wrapping every DML mutation; [Wal.recover]
-    repairs the catalog after a {!Fault.Crash} — see
-    docs/STORAGE.md. *)
+(** The write-ahead log wrapping every DML mutation {e and} CTE
+    materialization; [Wal.recover] repairs the catalog after a
+    {!Fault.Crash} — see docs/STORAGE.md. *)
 
 module Guard = Nra_guard.Guard
 (** Resource budgets and cooperative cancellation; pass a

@@ -252,9 +252,15 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
                   | Ast.Max, Some e -> Nra_algebra.Aggregate.Max e
                   | _, None -> failwith "aggregate without argument"
                 in
+                (* the qualifying list is a materialized intermediate:
+                   charge its footprint to the memory governor while
+                   the aggregate consumes it *)
+                let elems = List.of_seq qualifying in
                 let v =
-                  Nra_algebra.Aggregate.eval_one func
-                    (List.of_seq qualifying)
+                  Nra_storage.Governor.with_charged
+                    ~rows:(List.length elems)
+                    ~width:(Schema.arity concat_schema)
+                    (fun () -> Nra_algebra.Aggregate.eval_one func elems)
                 in
                 T3.cmp op x v
             | None -> (

@@ -87,7 +87,12 @@ let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
   let keep_pos =
     Array.init (List.length keep) (fun i -> key_arity + i)
   in
+  (* the pre-nest flat staging is governed: charged to the memory
+     ledger and routed through a spill partition when it would not fit
+     the frame budget (byte-identical either way) *)
   let result, emitted_sorted =
+    Nra_storage.Governor.with_staged ~label:"nest-staging" staging
+    @@ fun staging ->
     if not opts.pipelined then begin
       (* original: materialize the nested relation, then select *)
       let grouped =
@@ -337,9 +342,16 @@ and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
       ~with_marker:true c
   in
   let rel', emitted_sorted =
-    nest_select opts st ~key_schema ~keep ~verdict ~mode
-      ~sorted:(wide_sorted_prefix >= Schema.arity key_schema)
-      wide
+    (* the wide join product stays live while its staging is projected
+       and nested — charge it for that extent so the governor's
+       high-water mark reflects both *)
+    Nra_storage.Governor.with_charged
+      ~rows:(Relation.cardinality wide)
+      ~width:(Schema.arity (Relation.schema wide))
+      (fun () ->
+        nest_select opts st ~key_schema ~keep ~verdict ~mode
+          ~sorted:(wide_sorted_prefix >= Schema.arity key_schema)
+          wide)
   in
   (rel', if emitted_sorted then sp_after_select else 0)
 

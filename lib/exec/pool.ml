@@ -10,13 +10,28 @@ module Ledger = struct
     mutable seq_pages : int;
     mutable rand_pages : int;
     mutable fetched_rows : int;
+    mutable spills : Nra_storage.Bufpool.Spill.t list;
+        (* partitions this chunk consumed via Spill.iter_raw, newest
+           first; ownership transfers to the owner at the barrier *)
   }
 
   let create () =
-    { ticks = 0; rows = 0; seq_pages = 0; rand_pages = 0; fetched_rows = 0 }
+    {
+      ticks = 0;
+      rows = 0;
+      seq_pages = 0;
+      rand_pages = 0;
+      fetched_rows = 0;
+      spills = [];
+    }
 
   let tick l = l.ticks <- l.ticks + 1
   let add_rows l n = l.rows <- l.rows + n
+
+  (* record a spill partition fully consumed by this chunk (with
+     [Bufpool.Spill.iter_raw], which neither charges nor draws); the
+     owner replays its page reads and frees it at the join barrier *)
+  let consumed_spill l sp = l.spills <- sp :: l.spills
 end
 
 (* ---------- sizing knobs ---------- *)
@@ -157,6 +172,16 @@ let ensure_workers () =
 let in_region = ref false (* owner-side: a chunk closure re-entering *)
 
 let merge_ledgers ledgers =
+  (* spill-file ownership merges first: replay every consumed
+     partition's page reads owner-side, in chunk order then
+     consumption order — the same deterministic sequence at every pool
+     size (this is the only fault-drawing part of the merge) *)
+  Array.iter
+    (fun (l : Ledger.t) ->
+      List.iter Nra_storage.Bufpool.Spill.account_consumed
+        (List.rev l.spills);
+      l.spills <- [])
+    ledgers;
   let ticks = ref 0
   and rows = ref 0
   and seq = ref 0

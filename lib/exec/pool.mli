@@ -50,11 +50,23 @@ module Ledger : sig
     mutable seq_pages : int;
     mutable rand_pages : int;
     mutable fetched_rows : int;  (** would-be [Iosim] charges, in pages/rows *)
+    mutable spills : Nra_storage.Bufpool.Spill.t list;
+        (** spill partitions this chunk fully consumed (via
+            [Bufpool.Spill.iter_raw]); ownership transfers to the owner
+            at the join barrier, which replays their page reads in
+            chunk order and frees them *)
   }
 
   val create : unit -> t
   val tick : t -> unit
   val add_rows : t -> int -> unit
+
+  val consumed_spill : t -> Nra_storage.Bufpool.Spill.t -> unit
+  (** Record a partition consumed by this chunk.  This is how the
+      grace/hybrid join and the spillable nest run {e under} the pool:
+      workers read spill data without touching the (single-threaded)
+      buffer pool, and the owner settles residency, charges, and fault
+      draws deterministically at the barrier. *)
 end
 
 val default_size : unit -> int

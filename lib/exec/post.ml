@@ -88,6 +88,11 @@ let project_sort_limit ~to_scalar ~(output : A.output) rel =
   let projected =
     Nra_algebra.Basic.project_exprs (select_cols @ hidden) rel
   in
+  (* the post-processing projection buffer (select + hidden ORDER BY
+     keys) is governed: charged to the memory ledger, spilled through
+     the pool when it exceeds the frame budget *)
+  Nra_storage.Governor.with_staged ~label:"post-project" projected
+  @@ fun projected ->
   let projected =
     if output.A.distinct then
       if hidden = [] then Nra_algebra.Basic.distinct projected
@@ -174,6 +179,10 @@ let apply_grouped (output : A.output) rel =
     in
     Nra_algebra.Basic.project_exprs (key_cols @ identity_cols) rel
   in
+  (* the aggregation staging (group keys + identity frame) is governed
+     like every other staged intermediate *)
+  Nra_storage.Governor.with_staged ~label:"agg-staging" staged
+  @@ fun staged ->
   let nkeys = List.length key_exprs in
   let to_spec i (a : A.agg_call) =
     let arg =

@@ -130,9 +130,14 @@ let maybe_yield () =
   | Some h when !no_yield_depth = 0 -> h ()
   | _ -> ()
 
-type ctx = state list
+(* A task's detached context is its guard-scope stack plus its open
+   per-task Iosim ledgers (Auto's attempt ledger must only see charges
+   from its own task's run slices, so it detaches and reattaches with
+   the scopes). *)
+type ctx = { scopes : state list; io : Nra_storage.Iosim.task_io }
 
-let empty_ctx : ctx = []
+let empty_ctx : ctx =
+  { scopes = []; io = Nra_storage.Iosim.empty_task }
 
 let save_ctx () =
   let now = Unix.gettimeofday () and io = io_now_ms () in
@@ -143,7 +148,7 @@ let save_ctx () =
       s.wall_base <- now;
       s.io_base_ms <- io)
     !stack;
-  let c = !stack in
+  let c = { scopes = !stack; io = Nra_storage.Iosim.save_task () } in
   stack := [];
   c
 
@@ -153,8 +158,9 @@ let restore_ctx c =
     (fun s ->
       s.wall_base <- now;
       s.io_base_ms <- io)
-    c;
-  stack := c
+    c.scopes;
+  stack := c.scopes;
+  Nra_storage.Iosim.restore_task c.io
 
 (* ---------- events ---------- *)
 

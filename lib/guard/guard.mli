@@ -148,11 +148,11 @@ val set_yield_hook : (unit -> unit) option -> unit
 
 val with_no_yield : (unit -> 'a) -> 'a
 (** Run the thunk with the yield hook suppressed (nestable): a
-    scheduler critical section.  Used where interleaving would break an
-    invariant that PR 2 established under serial execution — Auto's
-    killable attempt (its {!Nra_storage.Iosim} rollback must not erase
-    charges a concurrent statement accrued mid-attempt) and DML's
-    read-validate-commit (single-writer atomicity). *)
+    scheduler critical section.  Used where interleaving would break a
+    serial invariant — DML's read-validate-commit (single-writer
+    atomicity) and the Domain pool's fork-join regions.  Auto's
+    killable attempt no longer needs it: its rollback is a per-task
+    {!Nra_storage.Iosim} ledger that tolerates interleaved charges. *)
 
 val yields_suppressed : unit -> bool
 (** True inside {!with_no_yield}.  The scheduler's backoff sleeper
@@ -161,7 +161,9 @@ val yields_suppressed : unit -> bool
 
 type ctx
 (** A task's detached guard context: its whole stack of budget scopes
-    with accruals folded. *)
+    with accruals folded, plus its open per-task {!Nra_storage.Iosim}
+    ledgers (Auto's attempt ledger travels with the task so it only
+    tallies charges from the task's own run slices). *)
 
 val empty_ctx : ctx
 (** The context of a task that has not started yet (no scopes). *)

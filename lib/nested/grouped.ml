@@ -133,22 +133,43 @@ let nest_hash_spill ~by ~keep ~frames rows =
           (Array.concat [ [| Value.Int i |]; key; elem ]))
     rows;
   Array.iter B.Spill.finish spills;
-  let all = ref (List.rev (finish_groups order0)) in
-  Array.iter
-    (fun sp ->
-      let tbl : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
-      let order = ref [] in
-      B.Spill.iter sp (fun packed ->
-          let i =
-            match packed.(0) with Value.Int i -> i | _ -> assert false
-          in
-          let key = Array.sub packed 1 karity in
-          let elem = Array.sub packed (1 + karity) earity in
-          nest_into tbl order i key elem);
-      all := List.rev_append (finish_groups order) !all;
-      B.Spill.free sp)
-    spills;
-  let arr = Array.of_list !all in
+  (* spilled partitions nest under the Domain pool, one chunk per
+     partition: workers read spill data with [iter_raw] (no pool
+     traffic) and hand the consumed partitions to their ledger; the
+     owner replays page reads and frees them at the join barrier in
+     partition order.  Group order is restored by the final
+     first-index sort, so partition results can arrive in any order. *)
+  let per_part =
+    if nparts > 1 then
+      Pool.parallel_chunks ~min_chunk:1
+        ~n:(nparts - 1)
+        (fun ledger ~lo ~hi ->
+          let acc = ref [] in
+          for k = lo to hi - 1 do
+            Pool.Ledger.tick ledger;
+            let sp = spills.(k) in
+            let tbl : Row.t list ref Row.Tbl.t = Row.Tbl.create 64 in
+            let order = ref [] in
+            B.Spill.iter_raw sp (fun packed ->
+                let i =
+                  match packed.(0) with Value.Int i -> i | _ -> assert false
+                in
+                let key = Array.sub packed 1 karity in
+                let elem = Array.sub packed (1 + karity) earity in
+                nest_into tbl order i key elem);
+            acc := List.rev_append (finish_groups order) !acc;
+            Pool.Ledger.consumed_spill ledger sp
+          done;
+          !acc)
+    else [||]
+  in
+  let all =
+    Array.fold_left
+      (fun acc part -> List.rev_append part acc)
+      (List.rev (finish_groups order0))
+      per_part
+  in
+  let arr = Array.of_list all in
   Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
   Array.map snd arr
 
@@ -158,8 +179,9 @@ let nest_hash ~by ~keep rel =
   let groups =
     match Nra_storage.Bufpool.frames () with
     | Some f when Nra_storage.Iosim.pages (Array.length rows) > f ->
-        (* out-of-core wins over parallel: the spill path is serial by
-           design (the pool, like Iosim, is owner-side state) *)
+        (* the spill path runs its partitions under the Domain pool
+           itself (iter_raw workers + owner-side ledger replay), so
+           out-of-core and parallel compose *)
         nest_hash_spill ~by ~keep ~frames:f rows
     | _ ->
         if Pool.use_parallel (Array.length rows) then

@@ -58,9 +58,11 @@ let default_quantum_ms = 0.5
 let io_now_ms () = Nra_storage.Iosim.simulated_seconds () *. 1000.0
 
 (* The clock between syncs: whatever the disk ledger accrued since the
-   last sync belongs to virtual time.  (Never negative: an Auto-attempt
-   rollback is confined to a no-yield slice, so by the next observation
-   point the ledger is at or above the mark.) *)
+   last sync belongs to virtual time.  The clamp matters: an Auto
+   fallback uncharges its failed attempt's I/O from the global ledger
+   (possibly across yields, since Auto statements interleave), which
+   can pull the ledger below the mark — the clock freezes over such a
+   stretch rather than rewinding, staying monotone. *)
 let now t = t.vclock +. Float.max 0.0 (io_now_ms () -. t.io_mark)
 
 let sync t =

@@ -62,6 +62,15 @@ let create ?(config = default_config) cat =
     Nra.set_explain_note Plan_cache.note;
     hook_registered := true
   end;
+  (* a WAL left torn by a crash is repaired before the first statement
+     is admitted, so every session starts from a consistent catalog *)
+  (match Nra.Wal.recover_if_needed cat with
+  | Some s ->
+      Printf.eprintf
+        "server: recovered unfinished statement(s) from WAL (%d redone, \
+         %d undone)\n%!"
+        s.Nra.Wal.redone s.Nra.Wal.undone
+  | None -> ());
   (* The scheduler owns the Domain pool: statements time-slice on one
      domain, and a statement's parallel region runs to the barrier
      within its slice (a no-yield critical section), so one pool serves

@@ -17,8 +17,12 @@
    suite out-of-core.
 
    Global and single-threaded, like Iosim: worker domains never touch
-   the pool (the spill paths are serial, chosen before the morsel
-   kernels — see docs/STORAGE.md). *)
+   the pool.  The spill paths do run under the Domain pool, but workers
+   walk partition data with [Spill.iter_raw] (pure heap reads, no pool
+   traffic) and the owner replays the residency and charges at the join
+   barrier with [Spill.account_consumed], in partition order — so the
+   charge totals and the fault-draw sequence stay independent of the
+   domain count (see docs/STORAGE.md). *)
 
 type stats = {
   hits : int;
@@ -234,12 +238,34 @@ module Spill = struct
           (fun () -> Array.iter f rows))
       t.finished
 
+  (* pure data walk for worker domains: no pool residency, no charges,
+     no fault draws.  The owner must replay the partition's page reads
+     with [account_consumed] at the join barrier. *)
+  let iter_raw t f = Array.iter (fun rows -> Array.iter f rows) t.finished
+
   let free t =
     for p = 0 to t.n_pages - 1 do
       drop (t.tag, p)
     done;
     t.finished <- [||];
     t.page_data <- []
+
+  let pages t = t.n_pages
+
+  (* owner-side replay of a partition a worker consumed with
+     [iter_raw]: pin/unpin every page in order (hits if resident,
+     page-in charges + fault draws otherwise — exactly what a serial
+     [iter] would have paid), then free the dead pages.  Called at the
+     join barrier in partition order, so charges and faults land in the
+     same sequence at every pool size. *)
+  let account_consumed t =
+    Array.iteri
+      (fun p _ ->
+        let key = (t.tag, p) in
+        pin key;
+        unpin key)
+      t.finished;
+    free t
 end
 
 (* NRA_BUFFER_PAGES: "N" frames, "0" disabled, or a "<X>mb" memory

@@ -16,8 +16,11 @@
     configured {!Iosim} page size).
 
     Global and single-threaded, like {!Iosim}: worker domains never
-    touch the pool (spill decisions are made before the parallel
-    kernels run; see docs/STORAGE.md). *)
+    touch the pool.  Spilled partitions are still consumed {e under}
+    the Domain pool: workers walk data with {!Spill.iter_raw} (no pool
+    traffic) and the owner replays residency and charges in partition
+    order at the join barrier via {!Spill.account_consumed} (see
+    docs/STORAGE.md). *)
 
 type stats = {
   hits : int;  (** accesses satisfied by a resident frame (free) *)
@@ -88,7 +91,24 @@ module Spill : sig
 
   val iter : t -> (Nra_relational.Row.t -> unit) -> unit
 
+  val iter_raw : t -> (Nra_relational.Row.t -> unit) -> unit
+  (** Walk the partition's rows without touching the pool: no residency
+      updates, no charges, no fault draws.  This is the only spill
+      entry point worker domains may call; the owning domain must
+      account for the consumed pages afterwards with
+      {!account_consumed}. *)
+
+  val pages : t -> int
+  (** Number of pages the partition materialized. *)
+
   val free : t -> unit
   (** Drop every page of the partition from the pool (no writebacks)
       and release the row storage. *)
+
+  val account_consumed : t -> unit
+  (** Owner-side replay for a partition consumed via {!iter_raw}:
+      pin/unpin every page in order (charging page-ins and drawing
+      faults exactly as a serial [iter] would), then {!free} it.
+      Called at the join barrier in partition order so the charge and
+      fault sequences are identical at every domain count. *)
 end

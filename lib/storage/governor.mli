@@ -1,0 +1,63 @@
+(** Memory governor: a per-statement ledger over staged intermediates.
+
+    Evaluators stage flat intermediates (the pre-nest wide staging,
+    post-processing projection/aggregation buffers, sub-block
+    materializations) that the buffer pool's frame budget historically
+    never saw.  {!with_staged} brackets each one:
+
+    - its footprint (rows x schema width x 8-byte value slots) is
+      charged to a live-bytes ledger with a high-water mark, surfaced
+      in [explain --costs] and [query --time];
+    - when the buffer pool is enabled and the staging exceeds the
+      frame budget, its rows are routed through a {!Bufpool.Spill}
+      partition and read straight back — byte-identical (spill
+      preserves order), with the page traffic charged and fault-drawn
+      like any other spill I/O;
+    - stagings kept in memory record {!field:max_resident_pages}, so
+      tests can assert no unspilled intermediate ever exceeded the
+      budget.
+
+    A residency simulation like the rest of the storage layer: rows
+    stay on the OCaml heap, the charges are what is real.  Global and
+    single-threaded; call owner-side only. *)
+
+type stats = {
+  stagings : int;  (** intermediates charged since reset *)
+  staged_rows : int;
+  high_water_bytes : int;  (** peak simultaneous live staged bytes *)
+  spilled_stagings : int;  (** stagings routed through [Bufpool.Spill] *)
+  spilled_rows : int;
+  max_resident_pages : int;
+      (** largest staging kept unspilled, in pages — never exceeds the
+          frame budget while the pool is enabled *)
+}
+
+val stats : unit -> stats
+val live_bytes : unit -> int
+
+val reset : unit -> unit
+(** Zero the ledger.  Also runs on every {!Iosim.reset}. *)
+
+val charge : rows:int -> width:int -> unit
+val release : rows:int -> width:int -> unit
+
+val with_charged : rows:int -> width:int -> (unit -> 'a) -> 'a
+(** Charge an intermediate's footprint for the dynamic extent of [f]
+    (released on any exit).  Used for intermediates that are observed
+    but not re-routable (e.g. the wide join product while it is being
+    nested). *)
+
+val with_staged :
+  label:string ->
+  Nra_relational.Relation.t ->
+  (Nra_relational.Relation.t -> 'a) ->
+  'a
+(** [with_staged ~label rel f] — charge the staged relation and hand
+    [f] either [rel] itself (fits the budget, counted resident) or its
+    spill round-trip (over budget: written to a spill partition and
+    read back in order, page traffic charged).  The relation [f]
+    receives is row-for-row identical either way. *)
+
+val over_budget : int -> bool
+(** Whether a staging of that many rows exceeds the enabled frame
+    budget (always false when the pool is disabled). *)

@@ -61,6 +61,83 @@ let pages rows =
   let rpp = !current.rows_per_page in
   (rows + rpp - 1) / rpp
 
+(* Per-task I/O ledgers: a stack of open ledgers that every charge also
+   tallies into.  Auto's kill-and-fallback pushes one around the
+   attempt; on a kill, [uncharge] subtracts exactly the attempt's own
+   charges from the globals — no global snapshot, so other tasks'
+   charges interleaved by the scheduler are untouched.  The stack is
+   task-local state: the scheduler detaches it with the guard context
+   ([save_task]/[restore_task]) at every context switch. *)
+
+type ledger = {
+  mutable l_seq : int;
+  mutable l_rand : int;
+  mutable l_fetched : int;
+  mutable l_hits : int;
+  mutable l_misses : int;
+}
+
+let ledgers : ledger list ref = ref []
+
+let tally ~seq ~rand ~fetched =
+  match !ledgers with
+  | [] -> ()
+  | ls ->
+      List.iter
+        (fun l ->
+          l.l_seq <- l.l_seq + seq;
+          l.l_rand <- l.l_rand + rand;
+          l.l_fetched <- l.l_fetched + fetched)
+        ls
+
+let push_ledger () =
+  let l = { l_seq = 0; l_rand = 0; l_fetched = 0; l_hits = 0; l_misses = 0 } in
+  ledgers := l :: !ledgers;
+  l
+
+let pop_ledger l =
+  (* tolerant: drops down to and including [l], so an exception that
+     unwound past a nested push cannot leave stale ledgers live *)
+  let rec drop = function
+    | [] -> []
+    | x :: rest -> if x == l then rest else drop rest
+  in
+  ledgers := drop !ledgers
+
+let uncharge l =
+  state :=
+    {
+      seq_pages = !state.seq_pages - l.l_seq;
+      rand_pages = !state.rand_pages - l.l_rand;
+      fetched_rows = !state.fetched_rows - l.l_fetched;
+    };
+  hits := !hits - l.l_hits;
+  misses := !misses - l.l_misses;
+  (* enclosing ledgers (a nested Auto attempt) drop them too, so an
+     outer uncharge cannot subtract the same work twice *)
+  List.iter
+    (fun o ->
+      o.l_seq <- o.l_seq - l.l_seq;
+      o.l_rand <- o.l_rand - l.l_rand;
+      o.l_fetched <- o.l_fetched - l.l_fetched;
+      o.l_hits <- o.l_hits - l.l_hits;
+      o.l_misses <- o.l_misses - l.l_misses)
+    !ledgers
+
+(* stale ledgers must not survive a world reset *)
+let () = on_reset (fun () -> ledgers := [])
+
+type task_io = ledger list
+
+let empty_task = []
+
+let save_task () =
+  let s = !ledgers in
+  ledgers := [];
+  s
+
+let restore_task s = ledgers := s
+
 let frames_for_mb mb =
   let kb_per_page = Float.max 0.125 !current.page_size_kb in
   max 1 (int_of_float (Float.ceil (mb *. 1024.0 /. kb_per_page)))
@@ -70,14 +147,18 @@ let frames_for_mb mb =
    double-charges *)
 
 let add_rand n =
+  tally ~seq:0 ~rand:n ~fetched:0;
   state := { !state with rand_pages = !state.rand_pages + n }
 
 let charge_scan_rows rows =
   Fault.inject "scan";
-  state := { !state with seq_pages = !state.seq_pages + pages rows }
+  let n = pages rows in
+  tally ~seq:n ~rand:0 ~fetched:0;
+  state := { !state with seq_pages = !state.seq_pages + n }
 
 let charge_probe ~matches =
   Fault.inject "probe";
+  tally ~seq:0 ~rand:(1 + matches) ~fetched:0;
   state := { !state with rand_pages = !state.rand_pages + 1 + matches }
 
 let charge_random_pages n =
@@ -89,9 +170,13 @@ let charge_row_fetch ~table ~row_id =
   let page =
     Hashtbl.hash (table, row_id / !current.rows_per_page)
   in
-  if Lru.touch !cache page then incr hits
+  if Lru.touch !cache page then begin
+    incr hits;
+    List.iter (fun l -> l.l_hits <- l.l_hits + 1) !ledgers
+  end
   else begin
     incr misses;
+    List.iter (fun l -> l.l_misses <- l.l_misses + 1) !ledgers;
     add_rand 1
   end
 
@@ -100,6 +185,7 @@ let cache_misses () = !misses
 
 let charge_fetch_rows rows =
   Fault.inject "transfer";
+  tally ~seq:0 ~rand:0 ~fetched:rows;
   state := { !state with fetched_rows = !state.fetched_rows + rows }
 
 (* Buffer-pool page traffic (nra.storage Bufpool) and WAL appends.
@@ -111,14 +197,17 @@ let charge_fetch_rows rows =
 
 let charge_page_in n =
   Fault.inject "page-in";
+  tally ~seq:n ~rand:0 ~fetched:0;
   state := { !state with seq_pages = !state.seq_pages + n }
 
 let charge_page_out n =
   Fault.inject "page-out";
+  tally ~seq:n ~rand:0 ~fetched:0;
   state := { !state with seq_pages = !state.seq_pages + n }
 
 let charge_wal_append ~pages:n =
   Fault.inject "wal";
+  tally ~seq:n ~rand:0 ~fetched:0;
   state := { !state with seq_pages = !state.seq_pages + n }
 
 let counters () = !state
@@ -129,6 +218,7 @@ let counters () = !state
    drew its fault owner-side, and a second draw would make the fault
    sequence depend on the domain count. *)
 let absorb (c : counters) =
+  tally ~seq:c.seq_pages ~rand:c.rand_pages ~fetched:c.fetched_rows;
   state :=
     {
       seq_pages = !state.seq_pages + c.seq_pages;

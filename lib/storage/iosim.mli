@@ -128,7 +128,43 @@ val checkpoint : unit -> checkpoint
 val rollback : checkpoint -> unit
 (** Restore a snapshot: the charges of an aborted attempt vanish from
     the simulation.  Buffer-cache {e contents} are kept — a real pool
-    stays warm after an aborted query — only the tallies rewind. *)
+    stays warm after an aborted query — only the tallies rewind.
+
+    Checkpoint/rollback is a {e global} snapshot: it is only safe when
+    no other statement can charge in between.  Auto's kill-and-fallback
+    used to rely on that (inside [Guard.with_no_yield]); it now uses the
+    per-task {!ledger} below, which tolerates interleaved charges from
+    other scheduler tasks. *)
+
+(** {2 Per-task ledgers}
+
+    A stack of open ledgers that every charge function also tallies
+    into.  [push_ledger] opens one; [uncharge] subtracts exactly that
+    ledger's charges (including cache hit/miss tallies) from the global
+    counters — other tasks' charges interleaved by the scheduler are
+    untouched, which is what lets Auto's attempt run {e without} a
+    no-yield critical section.  The stack is task-local: the scheduler
+    detaches it at every context switch via [save_task]/[restore_task]
+    (threaded through [Guard.ctx]). *)
+
+type ledger
+
+val push_ledger : unit -> ledger
+val pop_ledger : ledger -> unit
+(** Pops down to and including the given ledger (tolerant of nested
+    pushes abandoned by an exception). *)
+
+val uncharge : ledger -> unit
+(** Subtract the ledger's tallies from the global counters and from any
+    still-open enclosing ledgers (so a nested attempt's aborted work is
+    not uncharged twice).  Cache contents stay warm. *)
+
+type task_io
+(** The detached ledger stack of a suspended task. *)
+
+val empty_task : task_io
+val save_task : unit -> task_io
+val restore_task : task_io -> unit
 
 val simulated_seconds : unit -> float
 (** Simulated elapsed I/O time since the last [reset]. *)

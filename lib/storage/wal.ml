@@ -139,12 +139,39 @@ let recover cat =
       | _ -> ())
     chrono;
   let undone = ref 0 in
+  let unfinished = Hashtbl.create 4 in
   (* !log is newest-first, which is exactly reverse chronological *)
   List.iter
     (function
       | Op (id, op) when not (Hashtbl.mem ended id) ->
+          Hashtbl.replace unfinished id ();
           undo_op cat op;
           incr undone
+      | Begin id when not (Hashtbl.mem ended id) ->
+          Hashtbl.replace unfinished id ()
       | _ -> ())
     !log;
+  (* mark the rolled-back statements ended (uncharged, like [abort]):
+     a later [needs_recovery] must see a clean log, and a re-recovery
+     must not undo them over subsequently committed work *)
+  Hashtbl.iter
+    (fun id () ->
+      log := Abort id :: !log;
+      incr appended)
+    unfinished;
   { redone = !redone; undone = !undone }
+
+(* a statement that opened (Begin) or mutated (Op) but never ended
+   (Commit/Abort) — the log shape only a crash leaves behind *)
+let needs_recovery () =
+  let ended = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Commit id | Abort id -> Hashtbl.replace ended id () | _ -> ())
+    !log;
+  List.exists
+    (function
+      | Begin id | Op (id, _) -> not (Hashtbl.mem ended id) | _ -> false)
+    !log
+
+let recover_if_needed cat = if needs_recovery () then Some (recover cat) else None

@@ -61,6 +61,17 @@ val recover : Catalog.t -> recovery
     neither committed nor aborted, in reverse order.  Uncharged,
     fault-free, idempotent. *)
 
+val needs_recovery : unit -> bool
+(** True when the log contains a statement that began or mutated but
+    neither committed nor aborted — the shape only a crash leaves
+    behind.  A log of fully ended statements needs no recovery (replay
+    would be an idempotent no-op). *)
+
+val recover_if_needed : Catalog.t -> recovery option
+(** {!recover} iff {!needs_recovery}; [None] means the log was clean
+    and the catalog untouched.  Run at CLI and server startup so an
+    embedding that observed a crash heals before serving. *)
+
 val records : unit -> int
 (** Total records appended since the last {!reset} (the WAL counter
     reported by [explain --costs]). *)
