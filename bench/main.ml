@@ -31,11 +31,13 @@ let run_ablation = ref true
 let run_full = ref false
 let run_domains_sweep = ref false
 let run_outofcore_sweep = ref false
+let run_rewrite_sweep = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [--figure N]... [--scale S] [--full] [--no-micro] \
-     [--no-ablation] [--domains-sweep] [--outofcore-sweep]";
+     [--no-ablation] [--domains-sweep] [--outofcore-sweep] \
+     [--rewrite-sweep]";
   exit 2
 
 let () =
@@ -65,6 +67,9 @@ let () =
         parse rest
     | "--outofcore-sweep" :: rest ->
         run_outofcore_sweep := true;
+        parse rest
+    | "--rewrite-sweep" :: rest ->
+        run_rewrite_sweep := true;
         parse rest
     | _ -> usage ()
   in
@@ -134,6 +139,23 @@ type point = {
 
 let points : point list ref = ref []
 
+(* one rewrite-on/off comparison per (query, strategy): [fired] is
+   whether the cost gate actually installed directives for the plan the
+   strategy ran (for auto, the plan of its pick), and [pick_*] record
+   auto's choice under each configuration *)
+type rw_run = {
+  rw_name : string;
+  fired : bool;
+  pick_off : string;
+  pick_on : string;
+  off : cost;
+  on : cost;
+}
+
+type rw_point = { rwp_fig : string; rwp_outer : int; rwp_runs : rw_run list }
+
+let rewrite_points : rw_point list ref = ref []
+
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in
   Buffer.add_char buf '"';
@@ -169,11 +191,41 @@ let emit_json path =
         p.runs;
       Buffer.add_string buf "]}")
     (List.rev !points);
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ]";
+  if !rewrite_points <> [] then begin
+    Buffer.add_string buf ",\n  \"rewrite_sweep\": [\n";
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"figure\": %s, \"outer\": %d, \
+                           \"strategies\": ["
+             (json_string p.rwp_fig) p.rwp_outer);
+        List.iteri
+          (fun j r ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"name\": %s, \"rewrite_fired\": %b, \"pick_off\": %s, \
+                  \"pick_on\": %s, \"off_cpu_s\": %.6f, \"off_sim_s\": \
+                  %.4f, \"on_cpu_s\": %.6f, \"on_sim_s\": %.4f, \
+                  \"improved\": %b}"
+                 (json_string r.rw_name) r.fired (json_string r.pick_off)
+                 (json_string r.pick_on) r.off.cpu r.off.sim r.on.cpu
+                 r.on.sim
+                 (r.on.sim < r.off.sim)))
+          p.rwp_runs;
+        Buffer.add_string buf "]}")
+      (List.rev !rewrite_points);
+    Buffer.add_string buf "\n  ]"
+  end;
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "\nwrote %s (%d points)\n" path (List.length !points)
+  Printf.printf "\nwrote %s (%d points, %d rewrite points)\n" path
+    (List.length !points)
+    (List.length !rewrite_points)
 
 let sweep ~fig cat sqls =
   print_series_header ();
@@ -737,6 +789,82 @@ let outofcore_sweep () =
     !all_ok;
   if not !all_ok then exit 1
 
+(* ---------- rewrite sweep ----------
+
+   The algebraic rewrite pass (lib/opt) on and off over the Figure 4
+   and Figure 6 queries, per NRA strategy and for auto: simulated and
+   CPU cost each way, whether the cost gate fired for the plan that
+   ran, and — for auto — which strategy it picked under each
+   configuration.  This is the acceptance evidence that auto selects a
+   rewritten plan with a measured improvement on a benched Figure 4
+   query; results land in the rewrite_sweep section of
+   BENCH_subqueries.json. *)
+
+let rewrite_sweep () =
+  header "Rewrite sweep"
+    "--rewrite none vs all per strategy; 'fired' = the cost gate \
+     installed directives for the plan that ran";
+  let rw_strategies =
+    [
+      ("nra-orig", Nra.Nra_original);
+      ("nra-opt", Nra.Nra_optimized);
+      ("nra-full", Nra.Nra_full);
+      ("auto", Nra.Auto);
+    ]
+  in
+  let sweep_one fig sql =
+    let analyzed =
+      match Nra.Planner.Analyze.analyze_string cat sql with
+      | Ok t -> t
+      | Error m -> failwith m
+    in
+    let outer = outer_block_size cat sql in
+    let pick () =
+      match Nra.auto_choice cat sql with
+      | Ok c -> Nra.strategy_to_string c
+      | Error m -> "error: " ^ m
+    in
+    let runs =
+      List.map
+        (fun (name, strategy) ->
+          Nra.set_rewrite_rules [];
+          let off = run_strategy cat strategy sql in
+          let pick_off = match strategy with Nra.Auto -> pick () | _ -> "" in
+          Nra.set_rewrite_rules Nra.Opt.Config.all;
+          let on = run_strategy cat strategy sql in
+          let pick_on = match strategy with Nra.Auto -> pick () | _ -> "" in
+          let fired =
+            let plan_of =
+              match strategy with
+              | Nra.Auto -> Nra.strategy_of_string pick_on
+              | s -> Some s
+            in
+            match plan_of with
+            | Some s -> (
+                match Nra.nra_base_options s with
+                | Some base -> Nra.rewrite_for cat analyzed base <> None
+                | None -> false)
+            | None -> false
+          in
+          Nra.set_rewrite_rules [];
+          Printf.printf
+            "  fig %-3s outer %-7d %-9s off sim %8.2fs  on sim %8.2fs  \
+             fired %-5b%s\n%!"
+            fig outer name off.sim on.sim fired
+            (match strategy with
+            | Nra.Auto ->
+                Printf.sprintf "  (pick: %s -> %s)" pick_off pick_on
+            | _ -> "");
+          { rw_name = name; fired; pick_off; pick_on; off; on })
+        rw_strategies
+    in
+    rewrite_points :=
+      { rwp_fig = fig; rwp_outer = outer; rwp_runs = runs }
+      :: !rewrite_points
+  in
+  List.iter (sweep_one "4") (q1_sqls ());
+  List.iter (sweep_one "6") (q2_sqls Q.All)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -746,6 +874,11 @@ let () =
   end;
   if !run_outofcore_sweep then begin
     outofcore_sweep ();
+    exit 0
+  end;
+  if !run_rewrite_sweep then begin
+    rewrite_sweep ();
+    emit_json "BENCH_subqueries.json";
     exit 0
   end;
   if wanted 4 then figure4 ();

@@ -55,6 +55,34 @@ let strategy =
   Arg.(
     value & opt strategy_conv Nra.Nra_optimized & info [ "strategy"; "s" ] ~doc)
 
+let rewrite_arg =
+  let parse s =
+    match Nra.Opt.Config.parse s with
+    | Ok _ -> Ok s
+    | Error m -> Error (`Msg m)
+  in
+  let rules_conv = Arg.conv (parse, Format.pp_print_string) in
+  let doc =
+    "Algebraic rewrite rules applied to NRA plans before execution: \
+     $(b,all), $(b,none), or a comma-separated subset of $(b,fuse), \
+     $(b,push-down), $(b,pipeline), $(b,semijoin).  Each candidate \
+     rewrite is priced by the cost model and fires only on improvement; \
+     results are identical under any setting.  Overrides the \
+     NRA_REWRITE environment variable."
+  in
+  Arg.(
+    value & opt (some rules_conv) None & info [ "rewrite" ] ~docv:"RULES" ~doc)
+
+let install_rewrite spec =
+  Option.iter
+    (fun s ->
+      match Nra.set_rewrite_spec s with
+      | Ok () -> ()
+      | Error m ->
+          (* the converter validated [s]; defensively surface anyway *)
+          Printf.eprintf "bad --rewrite spec: %s\n%!" m)
+    spec
+
 let make_catalog scale seed null_rate not_null =
   let cfg =
     {
@@ -255,9 +283,11 @@ let print_robustness_report () =
 
 (* ---------- commands ---------- *)
 
-let run_query strategy domains scale seed null_rate not_null csv timing
-    timeout_ms io_budget_ms max_rows faults fault_seed psize bpages bmb sql =
+let run_query strategy rewrite domains scale seed null_rate not_null csv
+    timing timeout_ms io_budget_ms max_rows faults fault_seed psize bpages
+    bmb sql =
   Option.iter Nra_pool.Pool.set_size domains;
+  install_rewrite rewrite;
   install_storage psize bpages bmb;
   let cat = make_catalog scale seed null_rate not_null in
   (* a torn WAL (e.g. a crash fault in a prior in-process run) is
@@ -346,10 +376,10 @@ let query_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run_query $ strategy $ domains_arg $ scale $ seed $ null_rate
-       $ not_null $ csv $ timing $ timeout_ms $ io_budget_ms $ max_rows
-       $ faults $ fault_seed $ page_size_kb $ buffer_pages $ buffer_mb
-       $ sql_arg))
+        (const run_query $ strategy $ rewrite_arg $ domains_arg $ scale
+       $ seed $ null_rate $ not_null $ csv $ timing $ timeout_ms
+       $ io_budget_ms $ max_rows $ faults $ fault_seed $ page_size_kb
+       $ buffer_pages $ buffer_mb $ sql_arg))
 
 let costs =
   let doc =
@@ -359,7 +389,8 @@ let costs =
   in
   Arg.(value & flag & info [ "costs" ] ~doc)
 
-let run_explain scale seed null_rate not_null costs sql =
+let run_explain rewrite scale seed null_rate not_null costs sql =
+  install_rewrite rewrite;
   let cat = make_catalog scale seed null_rate not_null in
   match Nra.explain cat sql with
   | Ok text ->
@@ -387,8 +418,8 @@ let explain_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run_explain $ scale $ seed $ null_rate $ not_null $ costs
-       $ sql_arg))
+        (const run_explain $ rewrite_arg $ scale $ seed $ null_rate
+       $ not_null $ costs $ sql_arg))
 
 let run_tables scale seed null_rate not_null =
   let cat = make_catalog scale seed null_rate not_null in
@@ -430,9 +461,11 @@ let analyze_cmd =
       ret
         (const run_analyze $ scale $ seed $ null_rate $ not_null $ table_arg))
 
-let run_repl strategy domains scale seed null_rate not_null timeout_ms
-    io_budget_ms max_rows faults fault_seed psize bpages bmb session_wall_ms
-    session_io_ms session_rows max_concurrent queue_len quantum_ms =
+let run_repl strategy rewrite domains scale seed null_rate not_null
+    timeout_ms io_budget_ms max_rows faults fault_seed psize bpages bmb
+    session_wall_ms session_io_ms session_rows max_concurrent queue_len
+    quantum_ms =
+  install_rewrite rewrite;
   install_storage psize bpages bmb;
   let cat = make_catalog scale seed null_rate not_null in
   install_faults faults fault_seed;
@@ -505,8 +538,8 @@ let repl_cmd =
   in
   Cmd.v info
     Term.(
-      const run_repl $ strategy $ domains_arg $ scale $ seed $ null_rate
-      $ not_null $ timeout_ms $ io_budget_ms $ max_rows $ faults
+      const run_repl $ strategy $ rewrite_arg $ domains_arg $ scale $ seed
+      $ null_rate $ not_null $ timeout_ms $ io_budget_ms $ max_rows $ faults
       $ fault_seed $ page_size_kb $ buffer_pages $ buffer_mb
       $ session_wall_ms $ session_io_ms $ session_rows $ max_concurrent
       $ queue_len $ quantum_ms)

@@ -69,6 +69,12 @@ module Stats = struct
   module Cost = Nra_stats.Cost
 end
 
+module Opt = struct
+  module Config = Nra_opt.Config
+  module Plan = Nra_opt.Plan
+  module Rewrite = Nra_opt.Rewrite
+end
+
 (* ---------- the error taxonomy ---------- *)
 
 module Exec_error = struct
@@ -164,6 +170,92 @@ let of_cost_strategy = function
   | Nra_stats.Cost.Nra_optimized -> Nra_optimized
   | Nra_stats.Cost.Nra_full -> Nra_full
 
+(* ---------- the algebraic rewrite pass (nra.opt) ---------- *)
+
+let rewrite_rules = Nra_opt.Config.rules
+let set_rewrite_rules = Nra_opt.Config.set
+let set_rewrite_spec = Nra_opt.Config.set_spec
+let rewrite_epoch = Nra_opt.Config.current_epoch
+let rewrite_signature = Nra_opt.Config.signature
+
+(* which executor options an NRA-family strategy runs under — the
+   rewriter's starting plan must mirror exactly that decision chain *)
+let nra_base_options = function
+  | Nra_original -> Some Nra_exec.Nra.original
+  | Nra_optimized -> Some Nra_exec.Nra.optimized
+  | Nra_full | Hybrid -> Some Nra_exec.Nra.full
+  | Naive | Classical | Magic | Auto -> None
+
+(* [Some r] only when rules are enabled AND the cost gate fired at
+   least one edit; rewriting is advisory, so any estimation failure
+   (e.g. an executor planner raising on an exotic shape) silently
+   yields the unrewritten plan *)
+let rewrite_for cat t base =
+  if Nra_opt.Config.rules () = [] then None
+  else
+    match Nra_opt.Rewrite.rewrite cat t ~base with
+    | r when r.Nra_opt.Rewrite.changed -> Some r
+    | _ -> None
+    | exception _ -> None
+
+(* every NRA-family execution funnels through here, so enabled rewrites
+   apply transparently to every strategy, including Auto's picks and
+   Hybrid's NRA arm *)
+let run_nra options cat t =
+  match rewrite_for cat t options with
+  | Some r ->
+      Nra_exec.Nra.run ~options ~directives:r.Nra_opt.Rewrite.dirs cat t
+  | None -> Nra_exec.Nra.run ~options cat t
+
+(* Auto over strategies × rewritten plans.  The rewriter only fires
+   cost-improving edits and [run_nra] re-applies them at execution, so
+   the cross-product collapses to adjusting each NRA strategy's
+   estimate by its rewrite's estimated delta (never below zero) and
+   re-ranking. *)
+let estimates_with_rewrites cat t =
+  let es = Nra_stats.Cost.estimates cat t in
+  if Nra_opt.Config.rules () = [] then es
+  else
+    let clamp v = Float.max 0.0 v in
+    List.map
+      (fun (e : Nra_stats.Cost.estimate) ->
+        match nra_base_options (of_cost_strategy e.Nra_stats.Cost.strategy) with
+        | None -> e
+        | Some base -> (
+            match rewrite_for cat t base with
+            | None -> e
+            | Some r ->
+                let b = r.Nra_opt.Rewrite.before
+                and a = r.Nra_opt.Rewrite.after in
+                let bd = e.Nra_stats.Cost.breakdown in
+                {
+                  e with
+                  Nra_stats.Cost.cost_ms =
+                    clamp
+                      (e.Nra_stats.Cost.cost_ms
+                      +. (a.Nra_opt.Rewrite.ms -. b.Nra_opt.Rewrite.ms));
+                  breakdown =
+                    {
+                      Nra_stats.Cost.seq_pages =
+                        clamp
+                          (bd.Nra_stats.Cost.seq_pages
+                          +. (a.Nra_opt.Rewrite.seq -. b.Nra_opt.Rewrite.seq));
+                      rand_pages =
+                        clamp
+                          (bd.Nra_stats.Cost.rand_pages
+                          +. (a.Nra_opt.Rewrite.rand -. b.Nra_opt.Rewrite.rand));
+                      fetched_rows =
+                        clamp
+                          (bd.Nra_stats.Cost.fetched_rows
+                          +. (a.Nra_opt.Rewrite.fetch -. b.Nra_opt.Rewrite.fetch));
+                    };
+                }))
+      es
+    (* the input is (cost, preference)-sorted; a stable re-sort on cost
+       alone keeps the preference tiebreak *)
+    |> List.stable_sort (fun (x : Nra_stats.Cost.estimate) y ->
+           Float.compare x.Nra_stats.Cost.cost_ms y.Nra_stats.Cost.cost_ms)
+
 (* Budget-aware choice: when the caller runs under a guard, prefer the
    cheapest plan whose estimate FITS what is left of that budget over
    the globally cheapest one — a tight row allowance steers away from
@@ -179,7 +271,7 @@ let budget_pick es =
    estimation is pure (no Iosim charges) but involves the executors'
    planners, so any failure falls back to the default strategy *)
 let auto_pick cat t =
-  match Nra_stats.Cost.estimates cat t with
+  match estimates_with_rewrites cat t with
   | [] -> Nra_optimized
   | es -> of_cost_strategy (budget_pick es).Nra_stats.Cost.strategy
   | exception _ -> Nra_optimized
@@ -208,16 +300,16 @@ let rec run_analyzed strategy cat t =
   | Naive -> Nra_exec.Naive.run cat t
   | Classical -> Nra_exec.Classical.run cat t
   | Magic -> Nra_exec.Magic.run cat t
-  | Nra_original -> Nra_exec.Nra.run ~options:Nra_exec.Nra.original cat t
-  | Nra_optimized -> Nra_exec.Nra.run ~options:Nra_exec.Nra.optimized cat t
-  | Nra_full -> Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
+  | Nra_original -> run_nra Nra_exec.Nra.original cat t
+  | Nra_optimized -> run_nra Nra_exec.Nra.optimized cat t
+  | Nra_full -> run_nra Nra_exec.Nra.full cat t
   | Hybrid ->
       if classical_fully_applies cat t then Nra_exec.Classical.run cat t
-      else Nra_exec.Nra.run ~options:Nra_exec.Nra.full cat t
+      else run_nra Nra_exec.Nra.full cat t
   | Auto -> run_auto cat t
 
 and run_auto cat t =
-  match Nra_stats.Cost.estimates cat t with
+  match estimates_with_rewrites cat t with
   | exception _ -> run_analyzed Nra_optimized cat t
   | [] -> run_analyzed Nra_optimized cat t
   | es -> run_auto_estimates cat t es
@@ -718,7 +810,7 @@ let prepare ?(strategy = Nra_optimized) cat sql =
           let t = Nra_planner.Analyze.analyze cat q in
           let est =
             if strategy = Auto then
-              try Nra_stats.Cost.estimates cat t with _ -> []
+              try estimates_with_rewrites cat t with _ -> []
             else []
           in
           Ok
@@ -808,6 +900,44 @@ let explain cat sql =
                  (String.trim (Nra_exec.Nra.plan_description t)))
            t)
 
+(* The rewrite part of EXPLAIN COSTS: which rules are on, and — per
+   NRA strategy whose plan has applicable sites — the fired/skipped
+   trace with the before/after whole-plan estimates, so Auto's choice
+   over rewritten plans is auditable. *)
+let rewrite_section cat t =
+  match Nra_opt.Config.rules () with
+  | [] -> "rewrite: off (no rules enabled; --rewrite or NRA_REWRITE)\n"
+  | _ ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "rewrite rules: %s\n" (rewrite_signature ()));
+      List.iter
+        (fun s ->
+          match nra_base_options s with
+          | None -> ()
+          | Some base -> (
+              match Nra_opt.Rewrite.rewrite cat t ~base with
+              | r ->
+                  if r.Nra_opt.Rewrite.trace <> [] then begin
+                    Buffer.add_string buf
+                      (Printf.sprintf
+                         "rewrite trace (%s): est %.1f → %.1f ms\n"
+                         (strategy_to_string s)
+                         r.Nra_opt.Rewrite.before.Nra_opt.Rewrite.ms
+                         r.Nra_opt.Rewrite.after.Nra_opt.Rewrite.ms);
+                    List.iter
+                      (fun l -> Buffer.add_string buf (l ^ "\n"))
+                      (Nra_opt.Rewrite.trace_lines r)
+                  end
+                  else
+                    Buffer.add_string buf
+                      (Printf.sprintf
+                         "rewrite trace (%s): no applicable sites\n"
+                         (strategy_to_string s))
+              | exception _ -> ()))
+        [ Nra_original; Nra_optimized; Nra_full ];
+      Buffer.contents buf
+
 let explain_costs cat sql =
   match Nra_planner.Analyze.analyze_string cat sql with
   | Error m -> Error m
@@ -815,7 +945,7 @@ let explain_costs cat sql =
       try
         let report = Nra_stats.Cost.report cat t in
         let auto_line =
-          match Nra_stats.Cost.estimates cat t with
+          match estimates_with_rewrites cat t with
           | [] -> ""
           | best :: _ ->
               let pick = of_cost_strategy best.Nra_stats.Cost.strategy in
@@ -865,10 +995,10 @@ let explain_costs cat sql =
         in
         Ok
           (Printf.sprintf
-             "%s\n%s%s%sguard events (session): %d budget kill(s), %d \
+             "%s\n%s%s%s%sguard events (session): %d budget kill(s), %d \
               cancellation(s), %d auto fallback(s)%s"
-             report auto_line storage_line governor_line
-             ev.Guard.budget_kills ev.Guard.cancellations
+             report auto_line (rewrite_section cat t) storage_line
+             governor_line ev.Guard.budget_kills ev.Guard.cancellations
              ev.Guard.auto_fallbacks note)
       with e -> Error (Printexc.to_string e))
 
@@ -876,3 +1006,60 @@ let auto_choice cat sql =
   match Nra_planner.Analyze.analyze_string cat sql with
   | Error m -> Error m
   | Ok t -> Ok (auto_pick cat t)
+
+(* ---------- statement footprints ---------- *)
+
+(* Which tables a command reads and writes, by name — the serving
+   layer's table-level locks are granted from this, so DML on disjoint
+   tables can interleave under the scheduler while conflicting
+   statements still serialize.  [All_tables] is the conservative
+   answer for statements whose reach cannot be named up front
+   (catalog-wide ANALYZE). *)
+type footprint =
+  | All_tables
+  | Tables of { read : string list; write : string list }
+
+let rec query_tables (q : Ast.query) =
+  let own = List.map fst q.Ast.from in
+  let conds = Option.to_list q.Ast.where @ Option.to_list q.Ast.having in
+  own
+  @ List.concat_map query_tables (List.concat_map Ast.subqueries conds)
+
+let rec statement_tables = function
+  | Ast.Select q -> query_tables q
+  | Ast.Setop (_, l, r) -> statement_tables l @ statement_tables r
+
+let cond_tables c =
+  match c with
+  | None -> []
+  | Some c -> List.concat_map query_tables (Ast.subqueries c)
+
+let dedup names = List.sort_uniq String.compare names
+
+let command_footprint = function
+  | Ast.Cmd_query stmt -> Tables { read = dedup (statement_tables stmt); write = [] }
+  | Ast.Create_table { table; _ } -> Tables { read = []; write = [ table ] }
+  | Ast.Drop_table table -> Tables { read = []; write = [ table ] }
+  | Ast.Insert_values (table, _) -> Tables { read = []; write = [ table ] }
+  | Ast.Insert_select (table, stmt) ->
+      Tables { read = dedup (statement_tables stmt); write = [ table ] }
+  | Ast.Delete (table, where) ->
+      (* the probe query scans the target too; listing it under [write]
+         already excludes concurrent readers *)
+      Tables { read = dedup (cond_tables where); write = [ table ] }
+  | Ast.Update (table, _, where) ->
+      Tables { read = dedup (cond_tables where); write = [ table ] }
+  | Ast.With_query (ctes, stmt) ->
+      (* each CTE registers (and later drops) a temp catalog table *)
+      Tables
+        {
+          read =
+            dedup
+              (statement_tables stmt
+              @ List.concat_map (fun (_, s) -> statement_tables s) ctes);
+          write = dedup (List.map fst ctes);
+        }
+  | Ast.Analyze (Some table) -> Tables { read = [ table ]; write = [ table ] }
+  | Ast.Analyze None -> All_tables
+
+let prepared_footprint p = command_footprint p.p_cmd

@@ -112,6 +112,16 @@ module Stats : sig
   module Cost = Nra_stats.Cost
 end
 
+module Opt : sig
+  module Config = Nra_opt.Config
+  module Plan = Nra_opt.Plan
+  module Rewrite = Nra_opt.Rewrite
+end
+(** The algebraic rewrite subsystem: an explicit NRA plan IR lifted
+    from the planner's block tree, four cost-gated rules (nest fusion,
+    push-down, pipelining, semijoin conversion), and the directives the
+    executors consume — see docs/OPTIMIZER.md. *)
+
 (** {1 Errors} *)
 
 (** Every way a statement can fail, as one closed type.  The string API
@@ -302,3 +312,54 @@ val auto_choice : Catalog.t -> string -> (strategy, string) result
     Under an active {!Guard} budget the choice is budget-aware: the
     cheapest plan whose estimate {e fits} [Guard.remaining ()] wins
     over the globally cheapest (see {!Stats.Cost.pick}). *)
+
+(** {1 The algebraic rewrite pass}
+
+    Rules are off by default; enable them with {!set_rewrite_rules} /
+    {!set_rewrite_spec} (the CLI's [--rewrite], and [NRA_REWRITE] in
+    the environment).  Once enabled, every NRA-family execution —
+    including [Auto]'s picks and [Hybrid]'s NRA arm — runs the
+    cost-gated rewritten plan transparently; results are always
+    byte-identical to the unrewritten plan. *)
+
+val rewrite_rules : unit -> Nra_opt.Config.rule list
+val set_rewrite_rules : Nra_opt.Config.rule list -> unit
+
+val set_rewrite_spec : string -> (unit, string) result
+(** Parse ["all"], ["none"], or a comma list of rule names, then
+    {!set_rewrite_rules}. *)
+
+val rewrite_epoch : unit -> int
+val rewrite_signature : unit -> string
+(** ["mask@epoch"]; plan caches must key on this so toggling rules can
+    never serve a stale plan. *)
+
+val nra_base_options : strategy -> Nra_exec.Nra.options option
+(** The executor options an NRA-family strategy runs under ([None] for
+    the non-NRA strategies and [Auto]). *)
+
+val rewrite_for :
+  Catalog.t ->
+  Nra_planner.Analyze.t ->
+  Nra_exec.Nra.options ->
+  Nra_opt.Rewrite.result option
+(** [Some r] only when rules are enabled and the cost gate fired at
+    least one edit for this plan. *)
+
+val estimates_with_rewrites :
+  Catalog.t -> Nra_planner.Analyze.t -> Nra_stats.Cost.estimate list
+(** {!Stats.Cost.estimates} with each NRA strategy's estimate adjusted
+    by its rewrite's estimated delta and re-ranked — the estimate list
+    [Auto] actually picks over. *)
+
+(** {1 Statement footprints} *)
+
+(** Which tables a command reads and writes — the serving layer grants
+    table-level locks from this so statements with disjoint footprints
+    interleave under the scheduler. *)
+type footprint =
+  | All_tables  (** conservative: conflicts with everything *)
+  | Tables of { read : string list; write : string list }
+
+val command_footprint : Sql.Ast.command -> footprint
+val prepared_footprint : prepared -> footprint

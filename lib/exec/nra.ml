@@ -34,6 +34,31 @@ let full =
     positive_simplify = true;
   }
 
+(* ---------- per-site rewrite directives ----------
+
+   The optimizer (nra.opt) speaks to this executor through per-child
+   directives keyed by block id: which of the five linking
+   implementations to run at that site, and — for the join+nest paths —
+   whether the nest is pipelined and whether its input may be assumed
+   already key-sorted (adjacent-nest fusion).  [n_assume_sorted] is a
+   hint, not a command: it is honored only when the executor's own
+   sorted-prefix tracking agrees at runtime, so a wrong hint degrades to
+   the unfused plan instead of to wrong groups.  A block with no
+   directive (or a directive whose structural preconditions do not hold
+   here) falls back to the options-driven decision chain, which is
+   byte-identical to the pre-directive executor. *)
+
+type nest_directive = { n_pipelined : bool; n_assume_sorted : bool }
+
+type link_impl =
+  | D_shared_set
+  | D_push_down
+  | D_semijoin
+  | D_bottom_up of nest_directive
+  | D_top_down of nest_directive
+
+type directives = (int * link_impl) list
+
 type stats = {
   mutable peak_intermediate_rows : int;
   mutable total_intermediate_rows : int;
@@ -76,8 +101,17 @@ let apply_mode mode verdict key elems out =
    keep columns after them; [nest_select] computes υ followed by the
    linking selection, either as two materialized passes (original) or
    fused into one group scan over sorted input (optimized). *)
-let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
+let nest_select opts ?flags st ~key_schema ~keep ~verdict ~mode ~sorted wide =
   let t0 = now () in
+  (* a directive overrides the options: a fused nest ([n_assume_sorted]
+     confirmed by the runtime [sorted] flag) takes the single-pass run
+     scan, which on key-sorted input produces exactly the groups (and
+     group order) the materialized nest would *)
+  let pipelined =
+    match flags with
+    | Some f -> f.n_pipelined || (f.n_assume_sorted && sorted)
+    | None -> opts.pipelined
+  in
   let key_arity = Schema.arity key_schema in
   let prefix =
     List.init key_arity (fun i -> (Expr.Col i, Schema.col key_schema i))
@@ -93,7 +127,7 @@ let nest_select opts st ~key_schema ~keep ~verdict ~mode ~sorted wide =
   let result, emitted_sorted =
     Nra_storage.Governor.with_staged ~label:"nest-staging" staging
     @@ fun staging ->
-    if not opts.pipelined then begin
+    if not pipelined then begin
       (* original: materialize the nested relation, then select *)
       let grouped =
         match opts.nest_impl with
@@ -177,18 +211,30 @@ let rowwise mode verdict elems_of rel =
     (Relation.rows rel);
   Relation.of_rows (Relation.schema rel) (List.rev !out)
 
-let rec process cat t opts st ~discard_ok (rel, sorted_prefix)
+(* The five linking-site implementations, as a closed choice: the
+   options-driven decision chain picks one (exactly as it always has),
+   and a rewrite directive can pick one directly when its structural
+   preconditions hold at this site. *)
+type site_pick =
+  | P_shared
+  | P_push of (R.rcol * R.rexpr) list
+  | P_semi
+  | P_bottom of nest_directive option
+  | P_top of nest_directive option
+
+let rec process cat t opts dirs st ~discard_ok (rel, sorted_prefix)
     (p : A.block) =
   List.fold_left
-    (fun acc c -> apply_child cat t opts st ~discard_ok ~parent:p acc c)
+    (fun acc c ->
+      apply_child cat t opts dirs st ~discard_ok ~parent:p acc c)
     (rel, sorted_prefix) p.A.children
 
-and reduce_standalone cat t opts st (b : A.block) : Relation.t =
+and reduce_standalone cat t opts dirs st (b : A.block) : Relation.t =
   let rel = Frame.block_relation b in
-  let rel', _ = process cat t opts st ~discard_ok:true (rel, 0) b in
+  let rel', _ = process cat t opts dirs st ~discard_ok:true (rel, 0) b in
   rel'
 
-and apply_child cat t opts st ~discard_ok ~parent (rel, sorted_prefix)
+and apply_child cat t opts dirs st ~discard_ok ~parent (rel, sorted_prefix)
     (c : A.child) =
   let b = c.A.block in
   let key_schema = Relation.schema rel in
@@ -202,118 +248,132 @@ and apply_child cat t opts st ~discard_ok ~parent (rel, sorted_prefix)
     | Discard -> key_arity
     | Pad _ -> key_arity - Array.length (block_positions key_schema parent)
   in
-  if contained && b.A.correlated = [] then begin
-    (* virtual Cartesian product: the subquery is evaluated once and its
-       value set shared by every outer tuple *)
-    let child_red = reduce_standalone cat t opts st b in
-    let keep, verdict =
-      Linkeval.verdict_and_keep ~key_schema ~wide_schema:(Relation.schema child_red)
-        ~with_marker:false c
-    in
-    let elems =
-      Array.to_list (Relation.rows child_red)
-      |> List.map (fun row ->
-             Array.of_list
-               (List.map (fun (s, _) -> Expr.eval_scalar row s) keep))
-    in
-    let rel' = rowwise mode verdict (fun _ -> elems) rel in
-    (rel', min sorted_prefix sp_after_select)
-  end
-  else
-    match (opts.push_down_nest && contained, equi_correlation b) with
-    | true, Some pairs ->
-        (* §4.2.4: group the reduced child by its correlation key once;
-           probe per outer tuple *)
-        let child_red = reduce_standalone cat t opts st b in
-        let cschema = Relation.schema child_red in
-        let keep, verdict =
-          Linkeval.verdict_and_keep ~key_schema ~wide_schema:cschema
-            ~with_marker:false c
-        in
-        let child_keys =
-          Array.of_list
-            (List.map (fun (col, _) -> Frame.to_scalar cschema (R.RCol col))
-               pairs)
-        in
-        let outer_keys =
-          Array.of_list
-            (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
-        in
-        let tbl : Row.t list ref Row.Tbl.t =
-          Row.Tbl.create (max 16 (Relation.cardinality child_red))
-        in
-        Array.iter
-          (fun row ->
-            let key = Array.map (Expr.eval_scalar row) child_keys in
-            if not (Array.exists Value.is_null key) then begin
-              let elem =
-                Array.of_list
-                  (List.map (fun (s, _) -> Expr.eval_scalar row s) keep)
-              in
-              match Row.Tbl.find_opt tbl key with
-              | Some cell -> cell := elem :: !cell
-              | None -> Row.Tbl.add tbl key (ref [ elem ])
-            end)
-          (Relation.rows child_red);
-        let elems_of outer_row =
-          let key = Array.map (Expr.eval_scalar outer_row) outer_keys in
-          if Array.exists Value.is_null key then []
-          else
+  let semi_ok =
+    b.A.children = [] && discard_ok
+    && is_positive_link c.A.link
+    && b.A.correlated <> []
+  in
+  let legacy_pick () =
+    if contained && b.A.correlated = [] then P_shared
+    else
+      match (opts.push_down_nest && contained, equi_correlation b) with
+      | true, Some pairs -> P_push pairs
+      | _ ->
+          if opts.positive_simplify && semi_ok then P_semi
+          else if opts.bottom_up_linear && contained then P_bottom None
+          else P_top None
+  in
+  let pick =
+    match List.assoc_opt b.A.id dirs with
+    | Some D_shared_set when contained && b.A.correlated = [] -> P_shared
+    | Some D_push_down when contained -> (
+        match equi_correlation b with
+        | Some pairs -> P_push pairs
+        | None -> legacy_pick ())
+    | Some D_semijoin when semi_ok -> P_semi
+    | Some (D_bottom_up nf) when contained -> P_bottom (Some nf)
+    | Some (D_top_down nf) -> P_top (Some nf)
+    | _ -> legacy_pick ()
+  in
+  match pick with
+  | P_shared ->
+      (* virtual Cartesian product: the subquery is evaluated once and
+         its value set shared by every outer tuple *)
+      let child_red = reduce_standalone cat t opts dirs st b in
+      let keep, verdict =
+        Linkeval.verdict_and_keep ~key_schema
+          ~wide_schema:(Relation.schema child_red) ~with_marker:false c
+      in
+      let elems =
+        Array.to_list (Relation.rows child_red)
+        |> List.map (fun row ->
+               Array.of_list
+                 (List.map (fun (s, _) -> Expr.eval_scalar row s) keep))
+      in
+      let rel' = rowwise mode verdict (fun _ -> elems) rel in
+      (rel', min sorted_prefix sp_after_select)
+  | P_push pairs ->
+      (* §4.2.4: group the reduced child by its correlation key once;
+         probe per outer tuple *)
+      let child_red = reduce_standalone cat t opts dirs st b in
+      let cschema = Relation.schema child_red in
+      let keep, verdict =
+        Linkeval.verdict_and_keep ~key_schema ~wide_schema:cschema
+          ~with_marker:false c
+      in
+      let child_keys =
+        Array.of_list
+          (List.map (fun (col, _) -> Frame.to_scalar cschema (R.RCol col))
+             pairs)
+      in
+      let outer_keys =
+        Array.of_list
+          (List.map (fun (_, e) -> Frame.to_scalar key_schema e) pairs)
+      in
+      let tbl : Row.t list ref Row.Tbl.t =
+        Row.Tbl.create (max 16 (Relation.cardinality child_red))
+      in
+      Array.iter
+        (fun row ->
+          let key = Array.map (Expr.eval_scalar row) child_keys in
+          if not (Array.exists Value.is_null key) then begin
+            let elem =
+              Array.of_list
+                (List.map (fun (s, _) -> Expr.eval_scalar row s) keep)
+            in
             match Row.Tbl.find_opt tbl key with
-            | Some cell -> List.rev !cell
-            | None -> []
-        in
-        let rel' = rowwise mode verdict elems_of rel in
-        (rel', min sorted_prefix sp_after_select)
-    | _ ->
-        if
-          opts.positive_simplify && b.A.children = []
-          && discard_ok
-          && is_positive_link c.A.link
-          && b.A.correlated <> []
-        then begin
-          (* §4.2.5: σ_{AθSOME{B}}(υ(R ⟕_C S)) = R ⋉_{C ∧ AθB} S *)
-          let child_rel = Frame.block_relation b in
-          let concat =
-            Schema.append key_schema (Relation.schema child_rel)
-          in
-          let corr = Frame.to_pred concat b.A.correlated in
-          let on =
-            match (c.A.link, b.A.linked_attr) with
-            | A.L_exists, _ -> corr
-            | A.L_in a, Some e ->
-                Expr.And
-                  (corr,
-                   Expr.Cmp (T3.Eq, Frame.to_scalar concat a,
-                             Frame.to_scalar concat e))
-            | A.L_quant (a, op, `Any), Some e ->
-                Expr.And
-                  (corr,
-                   Expr.Cmp (op, Frame.to_scalar concat a,
-                             Frame.to_scalar concat e))
-            | _ -> assert false
-          in
-          let t0 = now () in
-          let rel' = J.join J.Semi ~on rel child_rel in
-          st.join_seconds <- st.join_seconds +. (now () -. t0);
-          (rel', sorted_prefix) (* semijoin preserves left order *)
-        end
-        else if opts.bottom_up_linear && contained then begin
-          (* §4.2.3: reduce the subquery standalone, then one outer join
-             and one nest+selection at this level *)
-          let child_red = reduce_standalone cat t opts st b in
-          join_nest_select cat t opts st ~mode ~sorted_prefix
-            ~sp_after_select rel c child_red ~recurse:false
-        end
-        else begin
-          (* Algorithm 1, general top-down case *)
-          let child_rel = Frame.block_relation b in
-          join_nest_select cat t opts st ~mode ~sorted_prefix
-            ~sp_after_select rel c child_rel ~recurse:true
-        end
+            | Some cell -> cell := elem :: !cell
+            | None -> Row.Tbl.add tbl key (ref [ elem ])
+          end)
+        (Relation.rows child_red);
+      let elems_of outer_row =
+        let key = Array.map (Expr.eval_scalar outer_row) outer_keys in
+        if Array.exists Value.is_null key then []
+        else
+          match Row.Tbl.find_opt tbl key with
+          | Some cell -> List.rev !cell
+          | None -> []
+      in
+      let rel' = rowwise mode verdict elems_of rel in
+      (rel', min sorted_prefix sp_after_select)
+  | P_semi ->
+      (* §4.2.5: σ_{AθSOME{B}}(υ(R ⟕_C S)) = R ⋉_{C ∧ AθB} S *)
+      let child_rel = Frame.block_relation b in
+      let concat = Schema.append key_schema (Relation.schema child_rel) in
+      let corr = Frame.to_pred concat b.A.correlated in
+      let on =
+        match (c.A.link, b.A.linked_attr) with
+        | A.L_exists, _ -> corr
+        | A.L_in a, Some e ->
+            Expr.And
+              (corr,
+               Expr.Cmp (T3.Eq, Frame.to_scalar concat a,
+                         Frame.to_scalar concat e))
+        | A.L_quant (a, op, `Any), Some e ->
+            Expr.And
+              (corr,
+               Expr.Cmp (op, Frame.to_scalar concat a,
+                         Frame.to_scalar concat e))
+        | _ -> assert false
+      in
+      let t0 = now () in
+      let rel' = J.join J.Semi ~on rel child_rel in
+      st.join_seconds <- st.join_seconds +. (now () -. t0);
+      (rel', sorted_prefix) (* semijoin preserves left order *)
+  | P_bottom flags ->
+      (* §4.2.3: reduce the subquery standalone, then one outer join
+         and one nest+selection at this level *)
+      let child_red = reduce_standalone cat t opts dirs st b in
+      join_nest_select cat t opts dirs st ?flags ~mode ~sorted_prefix
+        ~sp_after_select rel c child_red ~recurse:false
+  | P_top flags ->
+      (* Algorithm 1, general top-down case *)
+      let child_rel = Frame.block_relation b in
+      join_nest_select cat t opts dirs st ?flags ~mode ~sorted_prefix
+        ~sp_after_select rel c child_rel ~recurse:true
 
-and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
-    (c : A.child) child_rel ~recurse =
+and join_nest_select cat t opts dirs st ?flags ~mode ~sorted_prefix
+    ~sp_after_select rel (c : A.child) child_rel ~recurse =
   let b = c.A.block in
   let key_schema = Relation.schema rel in
   let concat = Schema.append key_schema (Relation.schema child_rel) in
@@ -332,7 +392,7 @@ and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
   record_intermediate st wide;
   let wide, wide_sorted_prefix =
     if recurse then
-      process cat t opts st
+      process cat t opts dirs st
         ~discard_ok:(mode = Discard && is_positive_link c.A.link)
         (wide, sorted_prefix) b
     else (wide, sorted_prefix)
@@ -349,7 +409,7 @@ and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
       ~rows:(Relation.cardinality wide)
       ~width:(Schema.arity (Relation.schema wide))
       (fun () ->
-        nest_select opts st ~key_schema ~keep ~verdict ~mode
+        nest_select opts ?flags st ~key_schema ~keep ~verdict ~mode
           ~sorted:(wide_sorted_prefix >= Schema.arity key_schema)
           wide)
   in
@@ -357,7 +417,7 @@ and join_nest_select cat t opts st ~mode ~sorted_prefix ~sp_after_select rel
 
 (* ---------- entry points ---------- *)
 
-let run_where ?(options = optimized) cat (t : A.t) =
+let run_where ?(options = optimized) ?(directives = []) cat (t : A.t) =
   let st =
     {
       peak_intermediate_rows = 0;
@@ -368,12 +428,12 @@ let run_where ?(options = optimized) cat (t : A.t) =
   in
   let rel = Frame.block_relation t.A.root in
   let rel', _ =
-    process cat t options st ~discard_ok:true (rel, 0) t.A.root
+    process cat t options directives st ~discard_ok:true (rel, 0) t.A.root
   in
   (rel', st)
 
-let run ?options cat t =
-  let rel, _ = run_where ?options cat t in
+let run ?options ?directives cat t =
+  let rel, _ = run_where ?options ?directives cat t in
   Post.apply t.A.output rel
 
 (* ---------- plan rendering (no execution) ---------- *)

@@ -50,6 +50,32 @@ val optimized : options
 val full : options
 (** Everything in Section 4.2 switched on. *)
 
+type nest_directive = {
+  n_pipelined : bool;
+      (** evaluate the linking selection during the group scan instead of
+          materializing υ (§4.2.1–4.2.2) *)
+  n_assume_sorted : bool;
+      (** fuse with the upstream sort: when the wide input is already
+          key-sorted at runtime, skip the re-sort and stream groups off
+          the run scan.  Checked against the executor's own sorted-prefix
+          tracking, so an over-optimistic directive degrades to the
+          materialized path rather than changing results. *)
+}
+
+(** Per linking site (keyed by block id), which of the five evaluation
+    paths to take.  Directives come from the [lib/opt] rewriter; each is
+    validated against the site's structural preconditions at runtime and
+    silently falls back to the options-driven choice when they no longer
+    hold, so a stale or wrong directive can never change results. *)
+type link_impl =
+  | D_shared_set  (** uncorrelated: evaluate once, share the value set *)
+  | D_push_down  (** §4.2.4 group-by-correlation-key probe *)
+  | D_semijoin  (** §4.2.5 positive linking → plain semijoin *)
+  | D_bottom_up of nest_directive  (** §4.2.3 reduce standalone, then join+nest *)
+  | D_top_down of nest_directive  (** Algorithm 1 general case *)
+
+type directives = (int * link_impl) list
+
 type stats = {
   mutable peak_intermediate_rows : int;
       (** largest wide relation materialized *)
@@ -61,10 +87,19 @@ type stats = {
 }
 
 val run_where :
-  ?options:options -> Catalog.t -> Analyze.t -> Relation.t * stats
+  ?options:options ->
+  ?directives:directives ->
+  Catalog.t ->
+  Analyze.t ->
+  Relation.t * stats
 (** Outer-frame rows satisfying WHERE, plus cost counters. *)
 
-val run : ?options:options -> Catalog.t -> Analyze.t -> Relation.t
+val run :
+  ?options:options ->
+  ?directives:directives ->
+  Catalog.t ->
+  Analyze.t ->
+  Relation.t
 (** [run_where] followed by output post-processing. *)
 
 val plan_description : ?options:options -> Analyze.t -> string

@@ -1,0 +1,165 @@
+(* The explicit NRA plan IR the rewriter works on.
+
+   One node per linking site (the planner's [Analyze.child]), carrying
+   the implementation choice the executor would make for it — the same
+   five-way decision chain as [Nra_exec.Nra.apply_child], computed here
+   statically from the strategy's options.  Rules rewrite the [impl]
+   field; [directives] compiles the tree back into the per-block-id
+   directive list the executor consumes.  Because the executor
+   re-validates every directive against the site's structural
+   preconditions at runtime, the IR can afford to be a faithful mirror
+   rather than a proof-carrying one: a directive the executor cannot
+   honor degrades to the options chain, never to a wrong answer. *)
+
+open Nra_planner
+module A = Analyze
+module Nx = Nra_exec.Nra
+
+type nest = { pipelined : bool; assume_sorted : bool }
+
+type impl =
+  | Shared_set
+  | Push_down
+  | Semijoin
+  | Bottom_up of nest
+  | Top_down of nest
+
+type node = {
+  child : A.child;
+  impl : impl;
+  sub : node list;
+  discard_ok : bool;
+      (* may the linking selection discard failing tuples here (σ), or
+         must it NULL-pad (σ̄)?  Discard holds at the outermost level and
+         propagates through positive links only. *)
+}
+
+type t = { analyzed : A.t; base : Nx.options; roots : node list }
+
+(* ---------- lifting: mirror the executor's decision chain ---------- *)
+
+let rec lift_child (base : Nx.options) ~discard_ok (c : A.child) =
+  let b = c.A.block in
+  let contained = A.self_contained b in
+  let nest0 = { pipelined = base.Nx.pipelined; assume_sorted = false } in
+  let impl =
+    if contained && b.A.correlated = [] then Shared_set
+    else
+      match (base.Nx.push_down_nest && contained, A.equi_correlation b) with
+      | true, Some _ -> Push_down
+      | _ ->
+          if
+            base.Nx.positive_simplify && b.A.children = [] && discard_ok
+            && A.is_positive c.A.link
+            && b.A.correlated <> []
+          then Semijoin
+          else if base.Nx.bottom_up_linear && contained then Bottom_up nest0
+          else Top_down nest0
+  in
+  let sub_discard =
+    match impl with
+    | Top_down _ -> discard_ok && A.is_positive c.A.link
+    | _ -> true (* standalone reduction: the subtree is outermost *)
+  in
+  let sub = List.map (lift_child base ~discard_ok:sub_discard) b.A.children in
+  { child = c; impl; sub; discard_ok }
+
+let lift ?(base = Nx.optimized) (analyzed : A.t) =
+  {
+    analyzed;
+    base;
+    roots =
+      List.map (lift_child base ~discard_ok:true) analyzed.A.root.A.children;
+  }
+
+(* ---------- traversal ---------- *)
+
+let rec fold_node f acc n = List.fold_left (fold_node f) (f acc n) n.sub
+let fold f acc p = List.fold_left (fold_node f) acc p.roots
+let nodes p = List.rev (fold (fun acc n -> n :: acc) [] p)
+
+let find p id =
+  fold
+    (fun acc n -> if n.child.A.block.A.id = id then Some n else acc)
+    None p
+
+(* ---------- rewriting ---------- *)
+
+let rec map_node f n =
+  let n = f n in
+  { n with sub = List.map (map_node f) n.sub }
+
+let replace p ~id ~impl =
+  {
+    p with
+    roots =
+      List.map
+        (map_node (fun n ->
+             if n.child.A.block.A.id = id then { n with impl } else n))
+        p.roots;
+  }
+
+(* After an impl change the discard contexts downstream may have
+   changed (a site rewritten away from Top_down now reduces its subtree
+   standalone, where discarding is always allowed); recompute them
+   top-down so the IR agrees with what the executor will do. *)
+let renormalize p =
+  let rec renorm ~discard_ok n =
+    let sub_discard =
+      match n.impl with
+      | Top_down _ -> discard_ok && A.is_positive n.child.A.link
+      | _ -> true
+    in
+    {
+      n with
+      discard_ok;
+      sub = List.map (renorm ~discard_ok:sub_discard) n.sub;
+    }
+  in
+  { p with roots = List.map (renorm ~discard_ok:true) p.roots }
+
+(* ---------- compiling to executor directives ---------- *)
+
+let directive_of_impl = function
+  | Shared_set -> Nx.D_shared_set
+  | Push_down -> Nx.D_push_down
+  | Semijoin -> Nx.D_semijoin
+  | Bottom_up n ->
+      Nx.D_bottom_up
+        { Nx.n_pipelined = n.pipelined; n_assume_sorted = n.assume_sorted }
+  | Top_down n ->
+      Nx.D_top_down
+        { Nx.n_pipelined = n.pipelined; n_assume_sorted = n.assume_sorted }
+
+let directives p =
+  fold
+    (fun acc n -> (n.child.A.block.A.id, directive_of_impl n.impl) :: acc)
+    [] p
+  |> List.rev
+
+(* ---------- rendering ---------- *)
+
+let nest_to_string n =
+  if n.pipelined then "υ-pipelined"
+  else if n.assume_sorted then "υ-fused"
+  else "υ-materialized"
+
+let impl_to_string = function
+  | Shared_set -> "shared-set"
+  | Push_down -> "push-down"
+  | Semijoin -> "semijoin"
+  | Bottom_up n -> Printf.sprintf "bottom-up(%s)" (nest_to_string n)
+  | Top_down n -> Printf.sprintf "top-down(%s)" (nest_to_string n)
+
+let describe p =
+  let buf = Buffer.create 128 in
+  let rec go depth n =
+    Buffer.add_string buf
+      (Printf.sprintf "%sblock %d: %s%s\n"
+         (String.make (2 * depth) ' ')
+         n.child.A.block.A.id (impl_to_string n.impl)
+         (if n.discard_ok then "" else " σ̄"));
+    List.iter (go (depth + 1)) n.sub
+  in
+  List.iter (go 0) p.roots;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Explicit NRA plan IR, lifted from the planner's block tree.
+
+    One node per linking site, annotated with the implementation choice
+    the executor's options-driven decision chain would make under the
+    given strategy options — the IR's starting point is always exactly
+    the unrewritten plan.  Rules edit [impl]; [directives] compiles the
+    tree into the per-block-id directive list that
+    {!Nra_exec.Nra.run_where} consumes. *)
+
+open Nra_planner
+module Nx := Nra_exec.Nra
+
+type nest = { pipelined : bool; assume_sorted : bool }
+
+type impl =
+  | Shared_set
+  | Push_down
+  | Semijoin
+  | Bottom_up of nest
+  | Top_down of nest
+
+type node = {
+  child : Analyze.child;
+  impl : impl;
+  sub : node list;
+  discard_ok : bool;
+}
+
+type t = { analyzed : Analyze.t; base : Nx.options; roots : node list }
+
+val lift : ?base:Nx.options -> Analyze.t -> t
+(** Mirror the executor's decision chain under [base] (default: the
+    [optimized] options). *)
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+val nodes : t -> node list
+val find : t -> int -> node option
+val replace : t -> id:int -> impl:impl -> t
+val renormalize : t -> t
+(** Recompute every node's [discard_ok] from its (possibly rewritten)
+    ancestors. *)
+
+val directives : t -> Nx.directives
+val impl_to_string : impl -> string
+val describe : t -> string

@@ -19,7 +19,10 @@ type entry = {
 type t = {
   capacity : int;
   cat : Nra.Catalog.t;
-  tbl : (string * string, entry) Hashtbl.t;
+  tbl : (string * string * string, entry) Hashtbl.t;
+      (* (normalized SQL, strategy, rewrite signature) — the rewrite
+         mask+epoch in the key means toggling rules via CLI/env can
+         never serve a plan prepared under a different configuration *)
   mutable tick : int;
   mutable st : stats;
 }
@@ -100,7 +103,9 @@ let evict_lru t =
 
 let find_or_prepare t ~strategy sql =
   t.tick <- t.tick + 1;
-  let key = (normalize sql, Nra.strategy_to_string strategy) in
+  let key =
+    (normalize sql, Nra.strategy_to_string strategy, Nra.rewrite_signature ())
+  in
   let cat_gen, stats_epoch = stamps t in
   let stale =
     match Hashtbl.find_opt t.tbl key with

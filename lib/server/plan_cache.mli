@@ -1,6 +1,7 @@
 (** A generation-checked plan cache over {!Nra.prepared} statements.
 
-    Entries are keyed on (normalized statement text, strategy) and
+    Entries are keyed on (normalized statement text, strategy,
+    rewrite signature — see {!Nra.rewrite_signature}) and
     stamped with the catalog's global generation
     ([Catalog.global_generation]) and the statistics epoch
     ([Stats_store.epoch_for]) at preparation time.  A lookup whose

@@ -99,6 +99,13 @@ let sleeper ms =
       if not (Guard.yields_suppressed ()) then
         Effect.perform (Sleep (Float.max 0.0 ms))
 
+(* Voluntary virtual sleep, for spin-waits (the server's lock-acquire
+   loop): inside a scheduled task it suspends on the virtual clock so
+   other tasks run and the clock advances; outside any task (or in a
+   no-yield critical section) it is a no-op and the caller's loop
+   resolves immediately in the single-statement world. *)
+let sleep_for = sleeper
+
 let hooks_installed = ref false
 
 let install_hooks () =

@@ -108,3 +108,9 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val sleep_for : float -> unit
+(** Voluntary virtual sleep for spin-waits (e.g. the server's
+    table-lock acquisition loop).  Inside a scheduled task it suspends
+    for [ms] on the virtual clock so other tasks run; outside any task,
+    or within a no-yield critical section, it is a no-op. *)

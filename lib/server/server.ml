@@ -53,6 +53,16 @@ type t = {
   (* (statement id, outcome); newest first, reversed by [drain];
      id 0 marks outcomes of statements that never got a task *)
   mutable completed : (int * outcome) list;
+  (* Table-level locks over statement footprints (Nra.footprint):
+     shared read locks counted per table, exclusive write locks, and a
+     global count for All_tables statements.  Granted all-at-once (so
+     no incremental acquisition → no deadlock); a blocked statement
+     virtual-sleeps and retries, which lets DML on disjoint tables
+     interleave under the scheduler where the old with_no_yield
+     serialized every non-query. *)
+  mutable read_locks : (string * int) list;
+  mutable write_locks : string list;
+  mutable global_locks : int;
 }
 
 let hook_registered = ref false
@@ -83,6 +93,9 @@ let create ?(config = default_config) cat =
     adm = Admission.create config.admission;
     sched = Scheduler.create ~quantum_ms:config.quantum_ms ();
     completed = [];
+    read_locks = [];
+    write_locks = [];
+    global_locks = 0;
   }
 
 let catalog t = t.cat
@@ -112,6 +125,61 @@ let timeout_outcome (w : pending Admission.waiter) =
     result =
       Error (Nra.Exec_error.Queue_timeout { waited_ms = w.at -. w.enqueued_at });
   }
+
+(* ---------- table-level locking ---------- *)
+
+let lock_wait_ms = 0.05
+
+let read_count t name =
+  match List.assoc_opt name t.read_locks with Some n -> n | None -> 0
+
+let conflicts t (fp : Nra.footprint) =
+  match fp with
+  | Nra.All_tables ->
+      t.global_locks > 0 || t.read_locks <> [] || t.write_locks <> []
+  | Nra.Tables { read; write } ->
+      t.global_locks > 0
+      || List.exists (fun n -> List.mem n t.write_locks) (read @ write)
+      || List.exists (fun n -> read_count t n > 0) write
+
+let grant t = function
+  | Nra.All_tables -> t.global_locks <- t.global_locks + 1
+  | Nra.Tables { read; write } ->
+      List.iter
+        (fun n -> t.read_locks <- (n, read_count t n + 1)
+                  :: List.remove_assoc n t.read_locks)
+        read;
+      t.write_locks <- write @ t.write_locks
+
+let release t = function
+  | Nra.All_tables -> t.global_locks <- t.global_locks - 1
+  | Nra.Tables { read; write } ->
+      List.iter
+        (fun n ->
+          let c = read_count t n - 1 in
+          t.read_locks <-
+            (if c <= 0 then List.remove_assoc n t.read_locks
+             else (n, c) :: List.remove_assoc n t.read_locks))
+        read;
+      List.iter
+        (fun n ->
+          let rec drop_one = function
+            | [] -> []
+            | x :: rest -> if x = n then rest else x :: drop_one rest
+          in
+          t.write_locks <- drop_one t.write_locks)
+        write
+
+(* All-at-once acquisition: spin (on the virtual clock) until the whole
+   footprint is grantable, then grant it atomically within the slice.
+   Two same-table writers therefore serialize, while writers on
+   disjoint tables — and any readers not touching a written table —
+   interleave freely. *)
+let acquire t fp =
+  while conflicts t fp do
+    Scheduler.sleep_for lock_wait_ms
+  done;
+  grant t fp
 
 (* Budget-aware priority: a statement whose session is nearly out of
    simulated-I/O allowance runs ahead of bulk work, so it can finish
@@ -151,12 +219,24 @@ let rec spawn_stmt t p ~start =
               (e, { Guard.wall_ms = 0.0; sim_io_ms = 0.0; rows = 0 })
           | Ok prep ->
               let run () = Nra.run_prepared ~guard t.cat prep in
+              (* Table-level locking over the statement's footprint:
+                 writers exclude readers and writers of the same table
+                 but interleave with everything disjoint.  DML
+                 atomicity holds because each mutation validates and
+                 commits within a slice (the WAL brackets it), and the
+                 write lock keeps a second same-table statement from
+                 observing the window between a DML's read and its
+                 commit point.  [All_tables] (catalog-wide ANALYZE)
+                 keeps the old whole-statement critical section. *)
+              let fp = Nra.prepared_footprint prep in
+              acquire t fp;
               let r =
-                (* DML / WITH / ANALYZE mutate shared state between
-                   their read and commit points: single-writer atomicity
-                   needs them to run without interleaving *)
-                if Nra.prepared_is_query prep then run ()
-                else Guard.with_no_yield run
+                Fun.protect
+                  ~finally:(fun () -> release t fp)
+                  (fun () ->
+                    match fp with
+                    | Nra.All_tables -> Guard.with_no_yield run
+                    | Nra.Tables _ -> run ())
               in
               (r, Guard.last_spend ())
         in

@@ -12,6 +12,9 @@ module Iosim = Nra_storage.Iosim
    would keep hot pages resident and free, so pin the pool off *)
 let () = Bufpool.set_frames None
 
+(* pinned intermediate-row counts assume the unrewritten plans *)
+let () = Nra.set_rewrite_rules []
+
 let with_faults ?seed ?max_retries ?backoff_ms p f =
   Fault.configure ?seed ?max_retries ?backoff_ms p;
   Fun.protect ~finally:Fault.disable f

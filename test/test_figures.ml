@@ -12,6 +12,9 @@ module Q = Tpch.Queries
    run would distort both, so injection is off here *)
 let () = Fault.disable ()
 
+(* likewise the shapes compare the unrewritten plans per strategy *)
+let () = Nra.set_rewrite_rules []
+
 let cat =
   lazy
     (let cat =

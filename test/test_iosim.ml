@@ -3,8 +3,11 @@ module I = Nra_storage.Iosim
 
 (* these tests pin the simulator's exact accounting by calling the
    charge functions directly (no retry wrapper), so a CI-wide
-   NRA_FAULT_INJECT run must not perturb them *)
+   NRA_FAULT_INJECT run must not perturb them; likewise the
+   integration case pins the exact charges of the unrewritten plans,
+   so a CI-wide NRA_REWRITE run must not change them either *)
 let () = Fault.disable ()
+let () = Nra.set_rewrite_rules []
 
 let approx = Alcotest.float 1e-9
 

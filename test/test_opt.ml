@@ -1,0 +1,402 @@
+(* The lib/opt rewrite subsystem (ISSUE: algebraic rewrite pass over
+   NRA plans): rule-spec parsing and the cache epoch, per-rule
+   fire / must-NOT-fire preconditions on lifted plan IR, the cost gate
+   (a rewrite is applied only on strict estimated improvement),
+   byte-identical CSV output rewritten-vs-unrewritten across every
+   strategy × domains × frame budgets with faults on, the plan cache's
+   rewrite-signature key component, and the server's table-level locks
+   (DML on disjoint tables interleaves, same-table DML serializes). *)
+
+open Nra
+open Test_support
+module Cfg = Nra.Opt.Config
+module Plan = Nra.Opt.Plan
+module Rw = Nra.Opt.Rewrite
+module Nx = Nra.Exec.Nra_exec
+module An = Nra.Planner.Analyze
+module Server = Nra_server.Server
+module Scheduler = Nra_server.Scheduler
+module Plan_cache = Nra_server.Plan_cache
+
+let reset () =
+  Nra.set_rewrite_rules [];
+  Nra.Fault.disable ();
+  Nra.Bufpool.set_frames None;
+  Nra.Pool.set_size 0
+
+let analyze cat sql =
+  match An.analyze_string cat sql with
+  | Ok t -> t
+  | Error m -> Alcotest.fail (Printf.sprintf "analyze failed (%s): %s" sql m)
+
+let lift ?(base = Nx.original) cat sql = Plan.lift ~base (analyze cat sql)
+
+(* the node for block [id], preorder *)
+let node_of plan id =
+  match Plan.find plan id with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "no IR node for block %d" id)
+
+let rule = Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (Cfg.rule_to_string r))
+    ( = )
+
+(* ---------- configuration ---------- *)
+
+let test_config_parse () =
+  Alcotest.(check (result (list rule) string)) "all" (Ok Cfg.all)
+    (Cfg.parse "all");
+  Alcotest.(check (result (list rule) string)) "none" (Ok [])
+    (Cfg.parse "none");
+  Alcotest.(check (result (list rule) string)) "empty" (Ok [])
+    (Cfg.parse "");
+  (* canonical order no matter how the set is spelled *)
+  Alcotest.(check (result (list rule) string)) "subset, reordered"
+    (Ok [ Cfg.Fuse_nests; Cfg.Semijoin ])
+    (Cfg.parse "semijoin , FUSE");
+  Alcotest.(check (result (list rule) string)) "duplicates collapse"
+    (Ok [ Cfg.Pipeline ])
+    (Cfg.parse "pipeline,pipelined");
+  (match Cfg.parse "semijoin,bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus rule accepted")
+
+let test_config_epoch () =
+  reset ();
+  let e0 = Nra.rewrite_epoch () in
+  let s0 = Nra.rewrite_signature () in
+  Nra.set_rewrite_rules Cfg.all;
+  Alcotest.(check bool) "set bumps the epoch" true (Nra.rewrite_epoch () > e0);
+  Alcotest.(check bool) "signature changed" true (Nra.rewrite_signature () <> s0);
+  (* toggling away and back to the same mask must NOT restore the old
+     signature — that is what lets caches survive rule flapping *)
+  Nra.set_rewrite_rules [];
+  Alcotest.(check bool) "same mask, fresh epoch" true
+    (Nra.rewrite_signature () <> s0);
+  reset ()
+
+(* ---------- per-rule preconditions on the lifted IR ----------
+
+   [Rw.propose] is the structural gate alone (no costing): each rule
+   must offer an edit exactly where the executor's runtime validation
+   would accept the directive. *)
+
+let exists_equi =
+  "select dname from dept where exists (select * from emp where \
+   emp.dept_id = dept.dept_id)"
+
+let not_exists_equi =
+  "select dname from dept where not exists (select * from emp where \
+   emp.dept_id = dept.dept_id)"
+
+let nested_under_negative =
+  "select dname from dept where not exists (select * from emp where \
+   emp.dept_id = dept.dept_id and exists (select * from project where \
+   project.lead_emp = emp.emp_id))"
+
+let non_equi_corr =
+  "select dname from dept where budget > all (select hours from project \
+   where project.owner_dept <> dept.dept_id)"
+
+let uncorrelated =
+  "select ename from emp where salary > all (select budget from dept)"
+
+let test_semijoin_rule () =
+  let cat = emp_dept_catalog () in
+  (* fires: positive leaf link, equality correlation, discard allowed *)
+  (match Rw.propose Cfg.Semijoin (node_of (lift cat exists_equi) 2) with
+  | Some Plan.Semijoin -> ()
+  | _ -> Alcotest.fail "semijoin must fire on a positive correlated leaf");
+  (* must NOT fire: negative linking operator *)
+  Alcotest.(check bool) "not under NOT EXISTS" true
+    (Rw.propose Cfg.Semijoin (node_of (lift cat not_exists_equi) 2) = None);
+  (* must NOT fire: discarding is not allowed below a negative parent
+     (the padded σ̄ tuples are still needed upstairs) *)
+  Alcotest.(check bool) "not when discard_ok is false" true
+    (Rw.propose Cfg.Semijoin (node_of (lift cat nested_under_negative) 3)
+    = None);
+  (* must NOT fire: uncorrelated blocks take the shared-set path *)
+  Alcotest.(check bool) "not on a shared-set site" true
+    (Rw.propose Cfg.Semijoin (node_of (lift cat uncorrelated) 2) = None)
+
+let test_push_down_rule () =
+  let cat = emp_dept_catalog () in
+  (match Rw.propose Cfg.Push_down (node_of (lift cat exists_equi) 2) with
+  | Some Plan.Push_down -> ()
+  | _ -> Alcotest.fail "push-down must fire on equality correlation");
+  (* must NOT fire: the correlation is not an equality *)
+  Alcotest.(check bool) "not on non-equality correlation" true
+    (Rw.propose Cfg.Push_down (node_of (lift cat non_equi_corr) 2) = None);
+  Alcotest.(check bool) "not on a shared-set site" true
+    (Rw.propose Cfg.Push_down (node_of (lift cat uncorrelated) 2) = None)
+
+let test_pipeline_rule () =
+  let cat = emp_dept_catalog () in
+  (* fires on a materialized nest (the original variant)… *)
+  (match
+     Rw.propose Cfg.Pipeline (node_of (lift ~base:Nx.original cat exists_equi) 2)
+   with
+  | Some (Plan.Top_down { pipelined = true; _ }) -> ()
+  | _ -> Alcotest.fail "pipeline must fire on a materialized nest");
+  (* …and must NOT fire when the nest is already pipelined *)
+  Alcotest.(check bool) "not when already pipelined" true
+    (Rw.propose Cfg.Pipeline
+       (node_of (lift ~base:Nx.optimized cat exists_equi) 2)
+    = None)
+
+let test_fuse_rule () =
+  let cat = emp_dept_catalog () in
+  (match
+     Rw.propose Cfg.Fuse_nests
+       (node_of (lift ~base:Nx.original cat exists_equi) 2)
+   with
+  | Some (Plan.Top_down { assume_sorted = true; pipelined = false }) -> ()
+  | _ -> Alcotest.fail "fusion must offer assume_sorted on a sort nest");
+  (* must NOT fire on a pipelined nest (fusion is subsumed there) *)
+  Alcotest.(check bool) "not on a pipelined nest" true
+    (Rw.propose Cfg.Fuse_nests
+       (node_of (lift ~base:Nx.optimized cat exists_equi) 2)
+    = None)
+
+(* ---------- the cost gate ---------- *)
+
+let test_gate_no_rules () =
+  let cat = emp_dept_catalog () in
+  let r = Rw.rewrite ~rules:[] cat (analyze cat exists_equi) ~base:Nx.original in
+  Alcotest.(check bool) "no rules, no change" false r.Rw.changed;
+  Alcotest.(check int) "no trace" 0 (List.length r.Rw.trace);
+  (* the compiled directives of an unchanged plan just restate the
+     options-driven choice (the core only installs them when [changed]) *)
+  Alcotest.(check bool) "unchanged cost" true
+    (r.Rw.after.Rw.ms = r.Rw.before.Rw.ms)
+
+let test_gate_monotone () =
+  let cat = emp_dept_catalog () in
+  List.iter
+    (fun sql ->
+      let r =
+        Rw.rewrite ~rules:Cfg.all cat (analyze cat sql) ~base:Nx.original
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate never worsens (%s)" sql)
+        true
+        (r.Rw.after.Rw.ms <= r.Rw.before.Rw.ms +. 1e-9);
+      List.iter
+        (fun (e : Rw.trace_entry) ->
+          match e.Rw.verdict with
+          | Rw.Fired ->
+              Alcotest.(check bool) "every fired edit strictly improved" true
+                (e.Rw.cost_after.Rw.ms < e.Rw.cost_before.Rw.ms)
+          | Rw.Skipped _ -> ())
+        r.Rw.trace;
+      if r.Rw.changed then
+        Alcotest.(check bool) "a changed plan compiles directives" true
+          (r.Rw.dirs <> []))
+    [ exists_equi; not_exists_equi; nested_under_negative; uncorrelated ]
+
+(* ---------- rewritten vs unrewritten: byte-identical CSV ----------
+
+   The ISSUE's identity matrix: the whole subquery corpus, every
+   strategy, domains {0,2,4} × frame budgets {8 pages, unbounded},
+   faults on — the CSV under --rewrite all must equal the CSV under
+   --rewrite none byte for byte (same rows, same order), or both runs
+   must fail identically. *)
+
+let run_csv cat strategy sql spec =
+  Nra.set_rewrite_rules spec;
+  (* reseed per run so both sides of the comparison see the very same
+     fault sequence *)
+  Nra.Fault.configure ~seed:11 0.02;
+  match Nra.query ~strategy cat sql with
+  | Ok rel -> Ok (Relation.to_csv rel)
+  | Error m -> Error m
+
+let test_identity_matrix () =
+  let cat = emp_dept_catalog () in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun frames ->
+          Nra.Pool.set_size domains;
+          Nra.Bufpool.set_frames frames;
+          List.iter
+            (fun sql ->
+              List.iter
+                (fun strategy ->
+                  let plain = run_csv cat strategy sql [] in
+                  let rewritten = run_csv cat strategy sql Cfg.all in
+                  let label =
+                    Printf.sprintf "%s / %d domains / %s frames: %s"
+                      (Nra.strategy_to_string strategy)
+                      domains
+                      (match frames with
+                      | Some n -> string_of_int n
+                      | None -> "inf")
+                      sql
+                  in
+                  match (plain, rewritten) with
+                  | Ok a, Ok b ->
+                      if a <> b then
+                        Alcotest.fail
+                          (Printf.sprintf "CSV diverged under rewrite: %s"
+                             label)
+                  | Error _, Error _ -> ()
+                  | _ ->
+                      Alcotest.fail
+                        (Printf.sprintf "one side failed: %s" label))
+                all_strategies)
+            subquery_corpus)
+        [ Some 8; None ])
+    [ 0; 2; 4 ];
+  reset ()
+
+(* ---------- plan cache keys on the rewrite signature ---------- *)
+
+let test_plan_cache_key () =
+  reset ();
+  let cat = emp_dept_catalog () in
+  let pc = Plan_cache.create cat in
+  let look () =
+    match Plan_cache.find_or_prepare pc ~strategy:Nra.Nra_optimized exists_equi
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Nra.Exec_error.to_string e)
+  in
+  look ();
+  look ();
+  let s = Plan_cache.stats pc in
+  Alcotest.(check int) "second lookup hits" 1 s.Plan_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Plan_cache.misses;
+  (* toggling rules changes the signature: the cached plan must not be
+     served for the new configuration *)
+  Nra.set_rewrite_rules Cfg.all;
+  look ();
+  let s = Plan_cache.stats pc in
+  Alcotest.(check int) "rule toggle misses" 2 s.Plan_cache.misses;
+  look ();
+  let s = Plan_cache.stats pc in
+  Alcotest.(check int) "stable config hits again" 2 s.Plan_cache.hits;
+  reset ()
+
+(* ---------- table-level locks in the server ----------
+
+   PR 6 wrapped every non-query in [Guard.with_no_yield], so two DML
+   statements could never interleave.  The footprint locks relax that:
+   DML on disjoint tables yields back and forth like queries do, while
+   same-table writers still serialize (and a catalog-wide ANALYZE keeps
+   the old critical section). *)
+
+let tpch_server () =
+  let cat =
+    Nra.Tpch.Gen.generate
+      { Nra.Tpch.Gen.scale = 0.002; seed = 7L; null_rate = 0.0;
+        declare_not_null = false }
+  in
+  Server.create
+    ~config:{ Server.default_config with Server.quantum_ms = 0.2 }
+    cat
+
+let submit_now srv session sql =
+  match Server.submit srv ~at:0.0 session sql with
+  | `Running _ | `Queued -> ()
+  | `Done o -> (
+      match o.Server.result with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "submit failed (%s): %s" sql
+               (Nra.Exec_error.to_string e)))
+
+let all_ok outcomes =
+  List.iter
+    (fun (o : Server.outcome) ->
+      match o.Server.result with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: %s" o.Server.sql
+               (Nra.Exec_error.to_string e)))
+    outcomes
+
+let test_disjoint_dml_interleaves () =
+  reset ();
+  let srv = tpch_server () in
+  let s1 = Server.session srv () and s2 = Server.session srv () in
+  submit_now srv s1 "update orders set o_shippriority = o_shippriority + 1";
+  submit_now srv s2 "update lineitem set l_linenumber = l_linenumber + 0";
+  let outs = Server.finish srv in
+  all_ok outs;
+  Alcotest.(check int) "both statements completed" 2 (List.length outs);
+  let st = Scheduler.stats (Server.scheduler srv) in
+  (* under with_no_yield this was structurally impossible: a DML ran
+     its whole body inside one no-yield slice *)
+  Alcotest.(check bool) "disjoint-table DML actually yielded" true
+    (st.Scheduler.yields > 0)
+
+let test_same_table_dml_serializes () =
+  reset ();
+  let srv = tpch_server () in
+  let s1 = Server.session srv () and s2 = Server.session srv () in
+  submit_now srv s1 "update orders set o_shippriority = o_shippriority + 1";
+  submit_now srv s2 "update orders set o_shippriority = o_shippriority + 1";
+  let outs = Server.finish srv in
+  all_ok outs;
+  (* the blocked writer waited on the lock by virtual-sleeping *)
+  let st = Scheduler.stats (Server.scheduler srv) in
+  Alcotest.(check bool) "second writer slept on the table lock" true
+    (st.Scheduler.sleeps > 0);
+  (* and both full-table updates report the same row count: neither saw
+     a half-applied table *)
+  (match
+     List.filter_map
+       (fun (o : Server.outcome) ->
+         match o.Server.result with Ok (Nra.Count n) -> Some n | _ -> None)
+       outs
+   with
+  | [ a; b ] -> Alcotest.(check int) "same rows touched" a b
+  | _ -> Alcotest.fail "expected two update counts")
+
+let test_analyze_keeps_critical_section () =
+  reset ();
+  let srv = tpch_server () in
+  let s1 = Server.session srv () and s2 = Server.session srv () in
+  submit_now srv s1 "analyze";
+  submit_now srv s2 "select count(*) from region";
+  all_ok (Server.finish srv)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "parse" `Quick test_config_parse;
+          Alcotest.test_case "epoch" `Quick test_config_epoch;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "semijoin" `Quick test_semijoin_rule;
+          Alcotest.test_case "push-down" `Quick test_push_down_rule;
+          Alcotest.test_case "pipeline" `Quick test_pipeline_rule;
+          Alcotest.test_case "fuse" `Quick test_fuse_rule;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "no rules, no change" `Quick test_gate_no_rules;
+          Alcotest.test_case "monotone estimates" `Quick test_gate_monotone;
+        ] );
+      ( "identity",
+        [ Alcotest.test_case "rewritten = unrewritten" `Slow
+            test_identity_matrix ] );
+      ( "plan-cache",
+        [ Alcotest.test_case "keyed on rewrite signature" `Quick
+            test_plan_cache_key ] );
+      ( "locks",
+        [
+          Alcotest.test_case "disjoint DML interleaves" `Quick
+            test_disjoint_dml_interleaves;
+          Alcotest.test_case "same-table DML serializes" `Quick
+            test_same_table_dml_serializes;
+          Alcotest.test_case "analyze stays exclusive" `Quick
+            test_analyze_keeps_critical_section;
+        ] );
+    ]

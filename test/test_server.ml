@@ -9,8 +9,11 @@ open Nra
 
 (* these tests pin exact simulated-I/O budgets (queue timeouts, the
    statement a session budget kills), so a CI-wide NRA_BUFFER_PAGES
-   run must not add buffer-pool charges on top *)
+   run must not add buffer-pool charges on top; the alloc-pressure
+   case additionally relies on the unrewritten plan staging an
+   intermediate, so a CI-wide NRA_REWRITE run is pinned off too *)
 let () = Bufpool.set_frames None
+let () = Nra.set_rewrite_rules []
 
 module Server = Nra_server.Server
 module Admission = Nra_server.Admission
