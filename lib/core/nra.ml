@@ -799,6 +799,58 @@ type prepared = {
 let prepared_sql p = p.p_sql
 let prepared_strategy p = p.p_strategy
 
+(* A structural fingerprint of the statement's subquery links, computed
+   from the parse tree alone (no catalog): one letter per linking
+   operator in traversal order, suffixed with ['!agg'] when the
+   subquery's single select item is an aggregate (type JA).  Plan caches
+   add this to their key so an aggregate-linking query can never share a
+   cache slot with a lookalike non-aggregate one, whatever the text
+   normalization does. *)
+let query_shape sql =
+  let buf = Buffer.create 16 in
+  let item_tag (q : Ast.query) =
+    match q.Ast.select with
+    | [ Ast.Sel_expr (Ast.Agg (f, _), _) ] ->
+        "!" ^ Nra_planner.Analyze.agg_name f
+    | _ -> ""
+  in
+  let rec walk_query (q : Ast.query) =
+    List.iter walk_cond (Option.to_list q.Ast.where);
+    List.iter walk_cond (Option.to_list q.Ast.having)
+  and sub tag q =
+    Buffer.add_string buf (tag ^ item_tag q);
+    walk_query q
+  and walk_cond (c : Ast.cond) =
+    match c with
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+        walk_cond a;
+        walk_cond b
+    | Ast.Not a -> walk_cond a
+    | Ast.Exists q -> sub "e" q
+    | Ast.Not_exists q -> sub "E" q
+    | Ast.In_query (_, q) -> sub "i" q
+    | Ast.Not_in_query (_, q) -> sub "I" q
+    | Ast.Quant_cmp (_, _, Ast.Any, q) -> sub "q" q
+    | Ast.Quant_cmp (_, _, Ast.All, q) -> sub "Q" q
+    | Ast.Scalar_cmp (_, _, q) -> sub "s" q
+    | Ast.True_ | Ast.Cmp _ | Ast.Is_null _ | Ast.Is_not_null _
+    | Ast.Between _ | Ast.In_list _ | Ast.Like _ ->
+        ()
+  in
+  let rec walk_statement = function
+    | Ast.Select q -> walk_query q
+    | Ast.Setop (_, a, b) ->
+        walk_statement a;
+        walk_statement b
+  in
+  (match Nra_sql.Parser.parse_command_located sql with
+  | Ok (Ast.Cmd_query stmt) -> walk_statement stmt
+  | Ok (Ast.With_query (ctes, stmt)) ->
+      List.iter (fun (_, s) -> walk_statement s) ctes;
+      walk_statement stmt
+  | Ok _ | Error _ -> ());
+  Buffer.contents buf
+
 let prepared_is_query p =
   match p.p_cmd with Ast.Cmd_query _ -> true | _ -> false
 

@@ -268,6 +268,17 @@ val run_prepared :
 val prepared_sql : prepared -> string
 val prepared_strategy : prepared -> strategy
 
+val query_shape : string -> string
+(** A structural fingerprint of the statement's subquery links from the
+    parse tree alone: one letter per linking operator in traversal
+    order ([e]/[E] EXISTS, [i]/[I] IN, [q]/[Q] θ SOME/ALL, [s] scalar),
+    suffixed with [!agg] when the subquery's single select item is an
+    aggregate (type JA) — so ["i!max"] is [IN (SELECT MAX…)].  Empty
+    for unparsable or subquery-free statements.  The plan cache adds
+    this to its key: an aggregate-linking query can never share a slot
+    with a lookalike non-aggregate one regardless of text
+    normalization. *)
+
 val prepared_is_query : prepared -> bool
 (** [true] for SELECT / set-operation statements — the only ones the
     plan cache retains (DDL and DML are cheap to parse and mutate the

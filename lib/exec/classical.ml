@@ -37,6 +37,11 @@ let reducible ~parent_id (b : A.block) =
 let choose t ~parent_id (c : A.child) : strategy =
   let b = c.A.block in
   if not (reducible ~parent_id b) then Iterate
+  else if b.A.scalar_agg <> None then
+    (* type JA: the link compares against a per-group aggregate, and an
+       empty group still produces a value (COUNT → 0, others → NULL) —
+       no join against the element rows can express that *)
+    Iterate
   else
     match c.A.link with
     | A.L_exists | A.L_in _ | A.L_quant (_, _, `Any) -> Semijoin

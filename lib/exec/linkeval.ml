@@ -16,13 +16,12 @@ let verdict_and_keep ~key_schema ~wide_schema ~with_marker (c : A.child) :
   let b = c.A.block in
   let keep_b () =
     match (c.A.link, b.A.linked_attr, b.A.scalar_agg) with
-    | (A.L_in _ | A.L_not_in _ | A.L_quant _), Some e, _ ->
+    | (A.L_in _ | A.L_not_in _ | A.L_quant _ | A.L_scalar _), Some e, _ ->
         let s = Frame.to_scalar wide_schema e in
         [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
-    | A.L_scalar _, Some e, _ ->
-        let s = Frame.to_scalar wide_schema e in
-        [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
-    | A.L_scalar _, None, Some (_, Some arg) ->
+    | ( (A.L_in _ | A.L_not_in _ | A.L_quant _ | A.L_scalar _),
+        None,
+        Some (_, Some arg) ) ->
         let s = Frame.to_scalar wide_schema arg in
         [ (s, Schema.column "__b" (guess_ty wide_schema s)) ]
     | _ -> []
@@ -51,40 +50,49 @@ let verdict_and_keep ~key_schema ~wide_schema ~with_marker (c : A.child) :
       | `Any -> T3.disj (List.map one elems)
       | `All -> T3.conj (List.map one elems)
   in
+  (* the block's one-row aggregate result: COUNT over an empty group is
+     0, the other aggregates are NULL — [Aggregate.eval_one] gives both,
+     and the marker filter has already removed outer-join padding *)
+  let agg_verdict a op (f, arg) =
+    let a = a_scalar a in
+    let func =
+      match (f, arg) with
+      | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
+      | Ast.Count, Some _ -> Nra_algebra.Aggregate.Count (Expr.Col 0)
+      | Ast.Sum, Some _ -> Nra_algebra.Aggregate.Sum (Expr.Col 0)
+      | Ast.Avg, Some _ -> Nra_algebra.Aggregate.Avg (Expr.Col 0)
+      | Ast.Min, Some _ -> Nra_algebra.Aggregate.Min (Expr.Col 0)
+      | Ast.Max, Some _ -> Nra_algebra.Aggregate.Max (Expr.Col 0)
+      | _, None -> raise (Frame.Unsupported "aggregate without argument")
+    in
+    fun outer elems ->
+      let x = Expr.eval_scalar outer a in
+      let v = Nra_algebra.Aggregate.eval_one func (filt elems) in
+      T3.cmp op x v
+  in
   let verdict =
-    match c.A.link with
-    | A.L_exists -> fun _ elems -> T3.of_bool (filt elems <> [])
-    | A.L_not_exists -> fun _ elems -> T3.of_bool (filt elems = [])
-    | A.L_in a -> quant_verdict a T3.Eq `Any
-    | A.L_not_in a -> quant_verdict a T3.Neq `All
-    | A.L_quant (a, op, q) -> quant_verdict a op q
-    | A.L_scalar (a, op) -> (
+    match (c.A.link, b.A.scalar_agg) with
+    | A.L_exists, _ -> fun _ elems -> T3.of_bool (filt elems <> [])
+    | A.L_not_exists, _ -> fun _ elems -> T3.of_bool (filt elems = [])
+    (* type JA: the subquery's value set is the aggregate's singleton
+       {v}, so IN ≡ (= v), NOT IN ≡ (<> v), and θ SOME ≡ θ ALL ≡ (θ v) —
+       all under 3VL (NULL on either side → Unknown) *)
+    | A.L_in a, Some agg -> agg_verdict a T3.Eq agg
+    | A.L_not_in a, Some agg -> agg_verdict a T3.Neq agg
+    | A.L_quant (a, op, _), Some agg -> agg_verdict a op agg
+    | A.L_scalar (a, op), Some agg -> agg_verdict a op agg
+    | A.L_in a, None -> quant_verdict a T3.Eq `Any
+    | A.L_not_in a, None -> quant_verdict a T3.Neq `All
+    | A.L_quant (a, op, q), None -> quant_verdict a op q
+    | A.L_scalar (a, op), None -> (
         let a = a_scalar a in
-        match b.A.scalar_agg with
-        | Some (f, arg) ->
-            let func =
-              match (f, arg) with
-              | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
-              | Ast.Count, Some _ -> Nra_algebra.Aggregate.Count (Expr.Col 0)
-              | Ast.Sum, Some _ -> Nra_algebra.Aggregate.Sum (Expr.Col 0)
-              | Ast.Avg, Some _ -> Nra_algebra.Aggregate.Avg (Expr.Col 0)
-              | Ast.Min, Some _ -> Nra_algebra.Aggregate.Min (Expr.Col 0)
-              | Ast.Max, Some _ -> Nra_algebra.Aggregate.Max (Expr.Col 0)
-              | _, None ->
-                  raise (Frame.Unsupported "aggregate without argument")
-            in
-            fun outer elems ->
-              let x = Expr.eval_scalar outer a in
-              let v = Nra_algebra.Aggregate.eval_one func (filt elems) in
-              T3.cmp op x v
-        | None -> (
-            fun outer elems ->
-              let x = Expr.eval_scalar outer a in
-              match filt elems with
-              | [] -> T3.Unknown
-              | [ e ] -> T3.cmp op x e.(0)
-              | _ :: _ :: _ ->
-                  failwith "scalar subquery returned more than one row"))
+        fun outer elems ->
+          let x = Expr.eval_scalar outer a in
+          match filt elems with
+          | [] -> T3.Unknown
+          | [ e ] -> T3.cmp op x e.(0)
+          | _ :: _ :: _ ->
+              failwith "scalar subquery returned more than one row")
   in
   (keep, verdict)
 

@@ -235,41 +235,43 @@ let rec compile ?(use_indexes = true) cat (t : A.t) outer_schema
           | Some s -> Seq.map (fun row -> Expr.eval_scalar row s) qualifying
           | None -> Seq.empty
         in
-        match c.A.link with
-        | A.L_in _ -> quant_eval T3.Eq `Any x (linked_values ())
-        | A.L_not_in _ -> quant_eval T3.Neq `All x (linked_values ())
-        | A.L_quant (_, op, quant) -> quant_eval op quant x (linked_values ())
-        | A.L_scalar (_, op) -> (
-            match b.A.scalar_agg with
-            | Some (f, _) ->
-                let func =
-                  match (f, agg_arg) with
-                  | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
-                  | Ast.Count, Some e -> Nra_algebra.Aggregate.Count e
-                  | Ast.Sum, Some e -> Nra_algebra.Aggregate.Sum e
-                  | Ast.Avg, Some e -> Nra_algebra.Aggregate.Avg e
-                  | Ast.Min, Some e -> Nra_algebra.Aggregate.Min e
-                  | Ast.Max, Some e -> Nra_algebra.Aggregate.Max e
-                  | _, None -> failwith "aggregate without argument"
-                in
-                (* the qualifying list is a materialized intermediate:
-                   charge its footprint to the memory governor while
-                   the aggregate consumes it *)
-                let elems = List.of_seq qualifying in
-                let v =
-                  Nra_storage.Governor.with_charged
-                    ~rows:(List.length elems)
-                    ~width:(Schema.arity concat_schema)
-                    (fun () -> Nra_algebra.Aggregate.eval_one func elems)
-                in
-                T3.cmp op x v
-            | None -> (
-                match List.of_seq (Seq.take 2 (linked_values ())) with
-                | [] -> T3.Unknown
-                | [ v ] -> T3.cmp op x v
-                | _ ->
-                    failwith "scalar subquery returned more than one row"))
-        | A.L_exists | A.L_not_exists -> assert false)
+        (* the block's one-row aggregate value; the qualifying list is a
+           materialized intermediate: charge its footprint to the memory
+           governor while the aggregate consumes it *)
+        let agg_value f =
+          let func =
+            match (f, agg_arg) with
+            | Ast.Count_star, _ -> Nra_algebra.Aggregate.Count_star
+            | Ast.Count, Some e -> Nra_algebra.Aggregate.Count e
+            | Ast.Sum, Some e -> Nra_algebra.Aggregate.Sum e
+            | Ast.Avg, Some e -> Nra_algebra.Aggregate.Avg e
+            | Ast.Min, Some e -> Nra_algebra.Aggregate.Min e
+            | Ast.Max, Some e -> Nra_algebra.Aggregate.Max e
+            | _, None -> failwith "aggregate without argument"
+          in
+          let elems = List.of_seq qualifying in
+          Nra_storage.Governor.with_charged
+            ~rows:(List.length elems)
+            ~width:(Schema.arity concat_schema)
+            (fun () -> Nra_algebra.Aggregate.eval_one func elems)
+        in
+        match (c.A.link, b.A.scalar_agg) with
+        (* type JA: IN / θ SOME / θ ALL against the aggregate's
+           singleton {v} collapse to one 3VL comparison with v *)
+        | A.L_in _, Some (f, _) -> T3.cmp T3.Eq x (agg_value f)
+        | A.L_not_in _, Some (f, _) -> T3.cmp T3.Neq x (agg_value f)
+        | A.L_quant (_, op, _), Some (f, _) -> T3.cmp op x (agg_value f)
+        | A.L_scalar (_, op), Some (f, _) -> T3.cmp op x (agg_value f)
+        | A.L_in _, None -> quant_eval T3.Eq `Any x (linked_values ())
+        | A.L_not_in _, None -> quant_eval T3.Neq `All x (linked_values ())
+        | A.L_quant (_, op, quant), None ->
+            quant_eval op quant x (linked_values ())
+        | A.L_scalar (_, op), None -> (
+            match List.of_seq (Seq.take 2 (linked_values ())) with
+            | [] -> T3.Unknown
+            | [ v ] -> T3.cmp op x v
+            | _ -> failwith "scalar subquery returned more than one row")
+        | (A.L_exists | A.L_not_exists), _ -> assert false)
 
 let run_where ?(use_indexes = true) cat (t : A.t) =
   stats.inner_loops <- 0;

@@ -171,7 +171,10 @@ let nest_select opts ?flags st ~key_schema ~keep ~verdict ~mode ~sorted wide =
 
 (* ---------- the recursive driver ---------- *)
 
-let is_positive_link = A.is_positive
+(* Site positivity: JA children (scalar_agg present) are never positive
+   — an empty group aggregates to a value, so it must reach the linking
+   selection instead of being discarded by σ or a semijoin. *)
+let is_positive_site = A.child_positive
 
 (* Allocation-pressure injection fires where a real row-budget
    exhaustion would: as an intermediate materializes under a finite row
@@ -250,7 +253,7 @@ and apply_child cat t opts dirs st ~discard_ok ~parent (rel, sorted_prefix)
   in
   let semi_ok =
     b.A.children = [] && discard_ok
-    && is_positive_link c.A.link
+    && is_positive_site c
     && b.A.correlated <> []
   in
   let legacy_pick () =
@@ -393,7 +396,7 @@ and join_nest_select cat t opts dirs st ?flags ~mode ~sorted_prefix
   let wide, wide_sorted_prefix =
     if recurse then
       process cat t opts dirs st
-        ~discard_ok:(mode = Discard && is_positive_link c.A.link)
+        ~discard_ok:(mode = Discard && is_positive_site c)
         (wide, sorted_prefix) b
     else (wide, sorted_prefix)
   in
@@ -460,16 +463,25 @@ let plan_description ?(options = optimized) (t : A.t) =
     else base
   in
   let link_str (c : A.child) =
+    (* a JA site compares against the per-group aggregate, not the raw
+       element set — make that visible in the rendered plan *)
+    let set =
+      match c.A.block.A.scalar_agg with
+      | Some (f, _) -> Printf.sprintf "{%s(…)}" (A.agg_name f)
+      | None -> "{…}"
+    in
     match c.A.link with
     | A.L_exists -> "EXISTS"
     | A.L_not_exists -> "NOT EXISTS"
-    | A.L_in e -> Format.asprintf "%a IN {…}" R.pp_expr e
-    | A.L_not_in e -> Format.asprintf "%a NOT IN {…}" R.pp_expr e
+    | A.L_in e -> Format.asprintf "%a IN %s" R.pp_expr e set
+    | A.L_not_in e -> Format.asprintf "%a NOT IN %s" R.pp_expr e set
     | A.L_quant (e, op, q) ->
-        Format.asprintf "%a %s %s {…}" R.pp_expr e (T3.cmpop_to_string op)
+        Format.asprintf "%a %s %s %s" R.pp_expr e (T3.cmpop_to_string op)
           (match q with `Any -> "ANY" | `All -> "ALL")
+          set
     | A.L_scalar (e, op) ->
-        Format.asprintf "%a %s scalar{…}" R.pp_expr e (T3.cmpop_to_string op)
+        Format.asprintf "%a %s scalar%s" R.pp_expr e (T3.cmpop_to_string op)
+          set
   in
   let sel_str ~discard_ok (c : A.child) =
     if discard_ok then Format.sprintf "σ[%s]" (link_str c)
@@ -493,7 +505,7 @@ let plan_description ?(options = optimized) (t : A.t) =
             (conds b.A.correlated) (sel_str ~discard_ok c)
         end
         else if options.positive_simplify && b.A.children = [] && discard_ok
-                && is_positive_link c.A.link
+                && is_positive_site c
                 && b.A.correlated <> [] then
           line depth "· §4.2.5: %s ⋉[%s ∧ %s] %s" frame
             (conds b.A.correlated) (link_str c) (block_label b)
@@ -510,7 +522,7 @@ let plan_description ?(options = optimized) (t : A.t) =
              else conds b.A.correlated)
             (block_label b);
           walk (depth + 1)
-            ~discard_ok:(discard_ok && is_positive_link c.A.link)
+            ~discard_ok:(discard_ok && is_positive_site c)
             ~frame:frame' b;
           line depth "ν by {%s …} keep {linked T%d attrs, %s#}; %s%s" frame
             b.A.id

@@ -7,6 +7,7 @@ type t =
   | Quant of Expr.scalar * T3.cmpop * quant * int
   | Non_empty
   | Is_empty
+  | Agg of Expr.scalar * T3.cmpop * Nra_algebra.Aggregate.func
 
 let filter_marker ~marker elems =
   match marker with
@@ -23,10 +24,26 @@ let eval p ~outer ~elems =
       (match q with
       | Some_ -> T3.disj (List.map one elems)
       | All -> T3.conj (List.map one elems))
+  | Agg (a, op, f) ->
+      (* aggregate linking (type JA): the set is collapsed to one value
+         first — COUNT ∅ = 0, other aggregates of ∅ are NULL — and the
+         comparison is a single 3VL test against it *)
+      let x = Expr.eval_scalar outer a in
+      T3.cmp op x (Nra_algebra.Aggregate.eval_one f elems)
 
 let is_positive = function
   | Non_empty | Quant (_, _, Some_, _) -> true
   | Is_empty | Quant (_, _, All, _) -> false
+  | Agg _ -> false (* the empty set aggregates to a value: it matters *)
+
+let agg_func_name (f : Nra_algebra.Aggregate.func) =
+  match f with
+  | Nra_algebra.Aggregate.Count_star | Nra_algebra.Aggregate.Count _ ->
+      "count"
+  | Nra_algebra.Aggregate.Sum _ -> "sum"
+  | Nra_algebra.Aggregate.Avg _ -> "avg"
+  | Nra_algebra.Aggregate.Min _ -> "min"
+  | Nra_algebra.Aggregate.Max _ -> "max"
 
 let pp ppf = function
   | Non_empty -> Format.pp_print_string ppf "{B} <> {}"
@@ -36,3 +53,6 @@ let pp ppf = function
         (T3.cmpop_to_string op)
         (match q with Some_ -> "SOME" | All -> "ALL")
         b
+  | Agg (a, op, f) ->
+      Format.fprintf ppf "%a %s %s{B}" Expr.pp_scalar a
+        (T3.cmpop_to_string op) (agg_func_name f)

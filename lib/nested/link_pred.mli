@@ -9,6 +9,8 @@
     - [IN]        → [= SOME];   [NOT IN] → [<> ALL]
     - [θ ANY/SOME]→ [θ SOME];   [θ ALL]  → [θ ALL]
     - [EXISTS]    → [≠ ∅];      [NOT EXISTS] → [= ∅]
+    - aggregate subqueries (type JA, [A θ (SELECT agg(B) …)], also via
+      [IN]/[SOME]/[ALL]) → [Agg]
 
     Evaluation is three-valued: [x θ ALL ∅ = True], [x θ SOME ∅ = False],
     and a NULL on either side of an element comparison contributes
@@ -33,6 +35,12 @@ type t =
           is the linked attribute's position in the element frame. *)
   | Non_empty
   | Is_empty
+  | Agg of Expr.scalar * Three_valued.cmpop * Nra_algebra.Aggregate.func
+      (** Aggregate linking (type JA), e.g. [A θ MAX{B}]: the element
+          set is collapsed to the aggregate's single value — COUNT of
+          the empty set is 0, SUM/AVG/MIN/MAX of it are NULL — and [A θ
+          v] is one three-valued comparison.  [IN]/[θ SOME]/[θ ALL]
+          against a one-row aggregate subquery all reduce to this. *)
 
 val eval : t -> outer:Row.t -> elems:Row.t list -> Three_valued.t
 (** [elems] must already have marker-null padding elements removed. *)
@@ -43,6 +51,8 @@ val filter_marker : marker:int option -> Row.t list -> Row.t list
 val is_positive : t -> bool
 (** Positive linking operators (EXISTS, SOME, IN) are satisfied only by
     non-empty sets; negative ones (NOT EXISTS, ALL, NOT IN) are
-    satisfied by the empty set.  Drives the σ vs σ̄ choice. *)
+    satisfied by the empty set.  Aggregate linking is never positive:
+    the empty set aggregates to a value (COUNT → 0) that can satisfy
+    the comparison.  Drives the σ vs σ̄ choice. *)
 
 val pp : Format.formatter -> t -> unit

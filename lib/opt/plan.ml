@@ -50,7 +50,7 @@ let rec lift_child (base : Nx.options) ~discard_ok (c : A.child) =
       | _ ->
           if
             base.Nx.positive_simplify && b.A.children = [] && discard_ok
-            && A.is_positive c.A.link
+            && A.child_positive c
             && b.A.correlated <> []
           then Semijoin
           else if base.Nx.bottom_up_linear && contained then Bottom_up nest0
@@ -58,7 +58,7 @@ let rec lift_child (base : Nx.options) ~discard_ok (c : A.child) =
   in
   let sub_discard =
     match impl with
-    | Top_down _ -> discard_ok && A.is_positive c.A.link
+    | Top_down _ -> discard_ok && A.child_positive c
     | _ -> true (* standalone reduction: the subtree is outermost *)
   in
   let sub = List.map (lift_child base ~discard_ok:sub_discard) b.A.children in
@@ -107,7 +107,7 @@ let renormalize p =
   let rec renorm ~discard_ok n =
     let sub_discard =
       match n.impl with
-      | Top_down _ -> discard_ok && A.is_positive n.child.A.link
+      | Top_down _ -> discard_ok && A.child_positive n.child
       | _ -> true
     in
     {

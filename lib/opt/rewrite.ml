@@ -122,7 +122,7 @@ let propose (rule : Config.rule) (n : Plan.node) : Plan.impl option =
   match (rule, n.Plan.impl) with
   | Config.Semijoin, (Plan.Bottom_up _ | Plan.Top_down _)
     when b.A.children = [] && n.Plan.discard_ok
-         && A.is_positive n.Plan.child.A.link
+         && A.child_positive n.Plan.child
          && b.A.correlated <> [] ->
       Some Plan.Semijoin
   | Config.Push_down, (Plan.Bottom_up _ | Plan.Top_down _)

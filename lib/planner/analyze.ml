@@ -76,6 +76,15 @@ let is_positive = function
   | L_not_exists | L_not_in _ | L_quant (_, _, `All) -> false
   | L_scalar _ -> false (* treated like a negative: empty result matters *)
 
+(* Positivity of a linking *site*: a positive link may discard outer
+   tuples whose group is empty (σ instead of σ̄, semijoin instead of
+   outer join + nest).  An aggregate-linking (type-JA) child is never
+   positive regardless of its link operator — the aggregate of an empty
+   group is a value (COUNT → 0, SUM/MIN/MAX/AVG → NULL), so the empty
+   group must survive to the linking selection. *)
+let child_positive (c : child) =
+  c.block.scalar_agg = None && is_positive c.link
+
 let block_uids b = List.map (fun bd -> bd.uid) b.bindings
 
 (* ---------- negation normal form over subquery predicates ----------
@@ -228,6 +237,13 @@ let check_subquery_shape (q : Ast.query) =
     error "ORDER BY in a subquery is not supported";
   if q.Ast.limit <> None then error "LIMIT in a subquery is not supported"
 
+let agg_name = function
+  | Ast.Count_star | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
 type want = W_exists | W_one | W_scalar
 
 let rec build bld scopes (q : Ast.query) ~want : block =
@@ -242,13 +258,11 @@ let rec build bld scopes (q : Ast.query) ~want : block =
     | W_exists -> (None, None)
     | W_one -> (
         match q.Ast.select with
-        | [ Ast.Sel_expr (e, _) ] -> (
-            match e with
-            | Ast.Agg _ ->
-                error
-                  "aggregate subquery where a set-valued subquery is \
-                   expected (use a scalar comparison instead)"
-            | _ -> (Some (resolve_expr scopes' e), None))
+        (* type JA: the subquery's one output row is an aggregate; IN
+           and θ SOME/ALL then compare against that singleton *)
+        | [ Ast.Sel_expr (Ast.Agg (f, arg), _) ] ->
+            (None, Some (f, Option.map (resolve_expr scopes') arg))
+        | [ Ast.Sel_expr (e, _) ] -> (Some (resolve_expr scopes' e), None)
         | [ Ast.Star ] | _ ->
             error "IN/quantified subquery must select exactly one expression")
     | W_scalar -> (
@@ -383,13 +397,7 @@ let output_of bld scopes (q : Ast.query) root_bindings : output =
               match (alias, e) with
               | Some a, _ -> a
               | None, Ast.Col (_, n) -> n
-              | None, Ast.Agg (f, _) ->
-                  (match f with
-                  | Ast.Count_star | Ast.Count -> "count"
-                  | Ast.Sum -> "sum"
-                  | Ast.Avg -> "avg"
-                  | Ast.Min -> "min"
-                  | Ast.Max -> "max")
+              | None, Ast.Agg (f, _) -> agg_name f
               | None, _ -> "expr"
             in
             [ (resolve_oexpr scopes e, name) ])
@@ -546,6 +554,13 @@ let rec pp_block ppf b =
          ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
          R.pp_cond)
       b.correlated;
+  (match b.scalar_agg with
+  | Some (f, arg) ->
+      Format.fprintf ppf " [agg: %s(%s)]" (agg_name f)
+        (match arg with
+        | Some e -> Format.asprintf "%a" R.pp_expr e
+        | None -> "*")
+  | None -> ());
   List.iter
     (fun c -> Format.fprintf ppf "@,%a -> %a" pp_link c.link pp_block c.block)
     b.children;

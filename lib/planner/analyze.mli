@@ -11,7 +11,9 @@
       NOT, which is normalized away; a subquery under OR is rejected);
     - subquery blocks cannot use GROUP BY / HAVING / ORDER BY / LIMIT;
     - aggregates may appear only in the outer block's SELECT / HAVING /
-      ORDER BY, or as the single item of a scalar subquery. *)
+      ORDER BY, or as the single select item of a subquery — a scalar
+      comparison or an IN / θ SOME / θ ALL link over the aggregate's
+      one-row result (type JA). *)
 
 open Nra_relational
 open Nra_storage
@@ -45,7 +47,8 @@ type block = {
       (** the subquery's selected expression (for IN / quantified /
           plain scalar linking) *)
   scalar_agg : (Nra_sql.Ast.agg_func * Resolved.rexpr option) option;
-      (** when the block is an aggregate scalar subquery *)
+      (** when the block is an aggregate subquery: a scalar comparison
+          or a type-JA IN / θ SOME / θ ALL over the one-row result *)
   marker : Resolved.rcol;
       (** a primary-key column of the block's first table — NULL after
           outer-join padding iff the block produced no tuple *)
@@ -133,6 +136,17 @@ val equi_correlation : block -> (Resolved.rcol * Resolved.rexpr) list option
     (and [None] otherwise, including the uncorrelated case). *)
 
 val is_positive : link_op -> bool
+
+val child_positive : child -> bool
+(** Site-level positivity: [is_positive] on the link, except that an
+    aggregate-linking (type-JA) child — [scalar_agg <> None] — is never
+    positive.  The aggregate of an empty group is a value (COUNT → 0,
+    SUM/MIN/MAX/AVG → NULL), so empty groups must reach the linking
+    selection: discarding unmatched outer tuples early (σ instead of σ̄,
+    or a semijoin) would change the answer. *)
+
+val agg_name : Nra_sql.Ast.agg_func -> string
+(** Lower-case SQL name of the aggregate ([count], [sum], …). *)
 
 val pp_block : Format.formatter -> block -> unit
 (** Debugging aid: the tree expression of the paper's Section 4

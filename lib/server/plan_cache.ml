@@ -19,10 +19,14 @@ type entry = {
 type t = {
   capacity : int;
   cat : Nra.Catalog.t;
-  tbl : (string * string * string, entry) Hashtbl.t;
-      (* (normalized SQL, strategy, rewrite signature) — the rewrite
-         mask+epoch in the key means toggling rules via CLI/env can
-         never serve a plan prepared under a different configuration *)
+  tbl : (string * string * string * string, entry) Hashtbl.t;
+      (* (normalized SQL, subquery-link shape, strategy, rewrite
+         signature) — the rewrite mask+epoch in the key means toggling
+         rules via CLI/env can never serve a plan prepared under a
+         different configuration, and the shape fingerprint
+         ([Nra.query_shape]) means an aggregate-linking (type-JA)
+         statement can never share a slot with a lookalike
+         non-aggregate one whatever [normalize] collapses *)
   mutable tick : int;
   mutable st : stats;
 }
@@ -104,7 +108,10 @@ let evict_lru t =
 let find_or_prepare t ~strategy sql =
   t.tick <- t.tick + 1;
   let key =
-    (normalize sql, Nra.strategy_to_string strategy, Nra.rewrite_signature ())
+    ( normalize sql,
+      Nra.query_shape sql,
+      Nra.strategy_to_string strategy,
+      Nra.rewrite_signature () )
   in
   let cat_gen, stats_epoch = stamps t in
   let stale =

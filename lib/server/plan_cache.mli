@@ -1,8 +1,10 @@
 (** A generation-checked plan cache over {!Nra.prepared} statements.
 
-    Entries are keyed on (normalized statement text, strategy,
-    rewrite signature — see {!Nra.rewrite_signature}) and
-    stamped with the catalog's global generation
+    Entries are keyed on (normalized statement text, subquery-link
+    shape — see {!Nra.query_shape}, which distinguishes
+    aggregate-linking (type-JA) subqueries from lookalike non-aggregate
+    ones — strategy, rewrite signature — see {!Nra.rewrite_signature})
+    and stamped with the catalog's global generation
     ([Catalog.global_generation]) and the statistics epoch
     ([Stats_store.epoch_for]) at preparation time.  A lookup whose
     stamps no longer match discards the entry and re-prepares: any DML

@@ -215,7 +215,7 @@ let nra_cost env _cat (opts : Nra_exec.Nra.options) (t : A.t) acc =
     else if
       opts.Nra_exec.Nra.positive_simplify
       && b.A.children = []
-      && A.is_positive c.A.link
+      && A.child_positive c
       && b.A.correlated <> []
     then
       (* §4.2.5: semijoin, no wide intermediate *)

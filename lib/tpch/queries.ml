@@ -25,6 +25,27 @@ let q1_window ~outer_fraction =
   ( Value.string_of_date lo,
     Value.string_of_date (min Gen.orderdate_hi (lo + max 1 width)) )
 
+type ja_link = Ja_in | Ja_not_in | Ja_gt_all | Ja_scalar_eq
+
+let ja_link_str = function
+  | Ja_in -> "in"
+  | Ja_not_in -> "not in"
+  | Ja_gt_all -> "> all"
+  | Ja_scalar_eq -> "="
+
+let q1_ja ~link ~date_lo ~date_hi =
+  Printf.sprintf
+    {|select o_orderkey, o_orderpriority
+from orders
+where o_orderdate >= date '%s' and o_orderdate < date '%s'
+  and o_totalprice %s
+    (select max(l_extendedprice)
+     from lineitem
+     where l_orderkey = o_orderkey
+       and l_commitdate < l_receiptdate
+       and l_shipdate < l_commitdate)|}
+    date_lo date_hi (ja_link_str link)
+
 let q2 ~quant ~size_lo ~size_hi ~availqty_max ~quantity =
   Printf.sprintf
     {|select p_partkey, p_name

@@ -16,6 +16,17 @@ val q1_window : outer_fraction:float -> string * string
 (** Date window (ISO strings) selecting ≈ the given fraction of
     orders. *)
 
+type ja_link = Ja_in | Ja_not_in | Ja_gt_all | Ja_scalar_eq
+
+val ja_link_str : ja_link -> string
+(** The SQL spelling of the linking operator ("in", "not in", "> all",
+    "="). *)
+
+val q1_ja : link:ja_link -> date_lo:string -> date_hi:string -> string
+(** Query 1-JA: Query 1's shape with an aggregated (type-JA) subquery —
+    [o_totalprice θ (select MAX(l_extendedprice) …)], correlated on
+    [l_orderkey = o_orderkey], under the chosen linking operator. *)
+
 val q2 : quant:quant -> size_lo:int -> size_hi:int -> availqty_max:int ->
   quantity:int -> string
 (** Query 2: two-level linear:

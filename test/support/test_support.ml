@@ -2,6 +2,10 @@
 
 open Nra
 
+(* the naive tuple-at-a-time differential oracle lives in its own
+   module; re-export it so suites can say Test_support.Reference_eval *)
+module Reference_eval = Reference_eval
+
 let vi i = Value.Int i
 let vf f = Value.Float f
 let vs s = Value.String s
@@ -196,6 +200,33 @@ let subquery_corpus =
     "select ename from emp where salary >= (select count(*) from project)";
     "select ename from emp where salary - 50 < (select count(hours) from \
      project where project.lead_emp = emp.emp_id)";
+    (* type JA: IN / NOT IN / quantified comparisons over an aggregate
+       subquery — the value set is the aggregate's singleton, and the
+       empty group aggregates to COUNT = 0 / others NULL rather than
+       vanishing *)
+    "select ename from emp where salary in (select max(budget) from dept \
+     where dept.dept_id = emp.dept_id)";
+    "select ename from emp where salary not in (select min(budget) from \
+     dept where dept.dept_id = emp.dept_id)";
+    "select ename from emp where salary > all (select avg(salary) from emp \
+     e2 where e2.dept_id = emp.dept_id)";
+    "select ename from emp where salary >= any (select sum(hours) from \
+     project where project.lead_emp = emp.emp_id)";
+    "select ename from emp where 0 in (select count(*) from project where \
+     project.lead_emp = emp.emp_id)";
+    "select ename from emp where 1 <= all (select count(hours) from \
+     project where project.lead_emp = emp.emp_id)";
+    "select dname from dept where budget not in (select count(*) from emp \
+     where emp.dept_id = dept.dept_id)";
+    "select dname from dept where budget > some (select sum(salary) from \
+     emp where emp.dept_id = dept.dept_id and salary > 60)";
+    (* JA over an uncorrelated aggregate *)
+    "select ename from emp where salary in (select max(budget) from dept)";
+    "select ename from emp where salary + 10 > all (select avg(hours) from \
+     project)";
+    (* JA with an expression aggregate argument *)
+    "select ename from emp where salary in (select max(budget - 10) from \
+     dept where dept.dept_id = emp.dept_id)";
     (* three levels deep, alternating signs *)
     "select dname from dept where budget < any (select salary from emp \
      where emp.dept_id = dept.dept_id and salary > all (select hours from \

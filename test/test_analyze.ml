@@ -167,6 +167,48 @@ let test_scalar_subquery_forms () =
   | A.L_scalar (_, Three_valued.Gt) -> ()
   | _ -> Alcotest.fail "scalar link"
 
+(* type JA: IN / θ SOME / θ ALL over an aggregate subquery — the block
+   carries [scalar_agg], has no linked attribute, and the site is never
+   positive (the empty group aggregates to a value) *)
+let test_ja_subquery_forms () =
+  let cat = emp_dept_catalog () in
+  let child_of sql =
+    let t = analyze cat sql in
+    List.hd t.A.root.A.children
+  in
+  let c =
+    child_of
+      {|select ename from emp
+        where salary in (select max(budget) from dept
+                         where dept.dept_id = emp.dept_id)|}
+  in
+  (match c.A.block.A.scalar_agg with
+  | Some (Sql.Ast.Max, Some _) -> ()
+  | _ -> Alcotest.fail "IN-aggregate subquery not recognized as JA");
+  Alcotest.(check bool) "JA block has no linked attribute" true
+    (c.A.block.A.linked_attr = None);
+  Alcotest.(check bool) "IN over an aggregate is not a positive site"
+    false (A.child_positive c);
+  let c =
+    child_of
+      {|select ename from emp
+        where salary > all (select count(*) from project
+                            where project.lead_emp = emp.emp_id)|}
+  in
+  (match (c.A.link, c.A.block.A.scalar_agg) with
+  | A.L_quant (_, Three_valued.Gt, `All), Some (Sql.Ast.Count_star, None) ->
+      ()
+  | _ -> Alcotest.fail "ALL-aggregate subquery not recognized as JA");
+  (* the non-aggregate lookalike keeps its linked attribute and its
+     positive IN site *)
+  let c =
+    child_of "select ename from emp where dept_id in (select dept_id from dept)"
+  in
+  Alcotest.(check bool) "non-aggregate IN stays positive" true
+    (A.child_positive c);
+  Alcotest.(check bool) "non-aggregate IN keeps linked_attr" true
+    (c.A.block.A.linked_attr <> None)
+
 let test_errors () =
   let cat = emp_dept_catalog () in
   expect_error cat "unknown table" "select * from nosuch";
@@ -186,8 +228,6 @@ let test_errors () =
     {|select * from emp where dept_id in (select dept_id from dept limit 1)|};
   expect_error cat "exactly one"
     "select * from emp where dept_id in (select * from dept)";
-  expect_error cat "aggregate"
-    "select * from emp where salary > all (select max(budget) from dept)";
   expect_error cat "aggregate"
     "select * from emp where max(salary) > 1";
   expect_error cat "expected an identifier" "select 1 from "
@@ -234,6 +274,7 @@ let () =
           Alcotest.test_case "NOT pushing" `Quick test_not_normalization;
           Alcotest.test_case "scalar subqueries" `Quick
             test_scalar_subquery_forms;
+          Alcotest.test_case "JA subqueries" `Quick test_ja_subquery_forms;
         ] );
       ("errors", [ Alcotest.test_case "all rejected" `Quick test_errors ]);
     ]

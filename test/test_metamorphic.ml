@@ -180,6 +180,190 @@ let test_delete_is_complement () =
       (card cat "select id from t")
   done
 
+(* ---------- type-JA differential oracle ----------
+
+   Seeded random aggregate-linking queries (IN / NOT IN / θ ANY / θ ALL
+   / θ scalar over COUNT / SUM / AVG / MIN / MAX subqueries, correlated
+   and not) checked byte-for-byte against the naive tuple-at-a-time
+   reference evaluator — across every strategy plus Auto, across domain
+   counts and frame budgets, with seeded fault injection on.  The
+   reference re-runs the subquery per outer tuple by lexical scoping
+   and shares nothing with the nest-then-link pipeline under test. *)
+
+module B = Nra.Bufpool
+module Ref = Test_support.Reference_eval
+
+let ja_rng = Tpch.Prng.create 0x1A5EEDL
+
+let ja_catalog () =
+  (* built directly (not through DDL) so hundreds of small catalogs are
+     cheap; the DDL path is exercised by the identity tests above *)
+  let v_opt bound =
+    if Tpch.Prng.bool ja_rng 0.25 then Value.Null
+    else Value.Int (Tpch.Prng.int ja_rng bound)
+  in
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"oo" ~key:[ "oid" ]
+       [
+         Schema.column "oid" Ttype.Int;
+         Schema.column "a" Ttype.Int;
+         Schema.column "b" Ttype.Int;
+       ]
+       (Array.init 8 (fun i -> [| Value.Int i; v_opt 6; v_opt 6 |])));
+  Catalog.register cat
+    (Table.create ~name:"ii" ~key:[ "iid" ]
+       [
+         Schema.column "iid" Ttype.Int;
+         Schema.column "c" Ttype.Int;
+         Schema.column "d" Ttype.Int;
+         Schema.column "oref" Ttype.Int;
+       ]
+       (Array.init 10 (fun i -> [| Value.Int i; v_opt 6; v_opt 6; v_opt 8 |])));
+  cat
+
+let ja_query () =
+  let cmp () = [| "="; "<>"; "<"; "<="; ">"; ">=" |].(Tpch.Prng.int ja_rng 6) in
+  let k () = Tpch.Prng.int ja_rng 6 in
+  let agg =
+    match Tpch.Prng.int ja_rng 7 with
+    | 0 -> "count(*)"
+    | 1 -> "count(ii.c)"
+    | 2 -> "sum(ii.c)"
+    | 3 -> "avg(ii.c)"
+    | 4 -> "min(ii.c)"
+    | 5 -> "max(ii.c)"
+    | _ -> "max(ii.c + ii.d)" (* expression aggregate argument *)
+  in
+  let corr =
+    match Tpch.Prng.int ja_rng 4 with
+    | 0 | 1 -> Some "ii.oref = oo.oid" (* equality correlation *)
+    | 2 -> Some "ii.c <> oo.a" (* non-equality correlation *)
+    | _ -> None (* uncorrelated *)
+  in
+  let local =
+    match Tpch.Prng.int ja_rng 4 with
+    | 0 -> Some (Printf.sprintf "ii.d %s %d" (cmp ()) (k ()))
+    | 1 -> Some "ii.d is not null"
+    | 2 -> Some (Printf.sprintf "ii.d between %d and %d" (k ()) (2 + k ()))
+    | _ -> None
+  in
+  let where =
+    match List.filter_map Fun.id [ corr; local ] with
+    | [] -> ""
+    | cs -> " where " ^ String.concat " and " cs
+  in
+  let sub = Printf.sprintf "(select %s from ii%s)" agg where in
+  let lhs =
+    match Tpch.Prng.int ja_rng 4 with
+    | 0 -> "oo.b"
+    | 1 -> "oo.a + 1" (* linking attribute is an expression *)
+    | 2 -> string_of_int (k ()) (* constant, e.g. 0 IN (COUNT …) *)
+    | _ -> "oo.a + oo.b"
+  in
+  let link =
+    match Tpch.Prng.int ja_rng 5 with
+    | 0 -> Printf.sprintf "%s in %s" lhs sub
+    | 1 -> Printf.sprintf "%s not in %s" lhs sub
+    | 2 -> Printf.sprintf "%s %s any %s" lhs (cmp ()) sub
+    | 3 -> Printf.sprintf "%s %s all %s" lhs (cmp ()) sub
+    | _ -> Printf.sprintf "%s %s %s" lhs (cmp ()) sub
+  in
+  Printf.sprintf "select oid from oo where oo.a %s %d and %s" (cmp ()) (k ())
+    link
+
+let ja_rounds = 210
+let ja_domains = [ 0; 2; 4 ]
+let ja_budgets = [ ("8", Some 8); ("inf", None) ]
+
+let test_ja_differential () =
+  (* the reference answers are config-independent: compute them once *)
+  let cases =
+    List.init ja_rounds (fun _ ->
+        let cat = ja_catalog () in
+        let sql = ja_query () in
+        match Ref.sorted_csv cat sql with
+        | Ok csv -> (cat, sql, csv)
+        | Error m -> Alcotest.fail (sql ^ ": reference: " ^ m))
+  in
+  let saved = Fault.config () in
+  let restore () =
+    Nra_pool.Pool.set_size 0;
+    B.set_frames None;
+    if saved.Fault.probability > 0.0 || saved.Fault.alloc_probability > 0.0
+    then
+      Fault.configure ~seed:saved.Fault.seed
+        ~max_retries:saved.Fault.max_retries
+        ~backoff_ms:saved.Fault.backoff_ms
+        ~alloc_probability:saved.Fault.alloc_probability
+        saved.Fault.probability
+    else Fault.disable ()
+  in
+  let run_config ~domains (budget_name, frames) =
+    B.set_frames frames;
+    Nra_pool.Pool.set_size domains;
+    (* seeded faults: deterministic, absorbed by the retry loop *)
+    Fault.configure ~seed:7 ~max_retries:6 ~alloc_probability:0.05 0.02;
+    List.iter
+      (fun (cat, sql, expect) ->
+        List.iter
+          (fun s ->
+            match Nra.query ~strategy:s cat sql with
+            | Error m ->
+                Alcotest.fail
+                  (Printf.sprintf "%s (%s, domains=%d, frames=%s): %s" sql
+                     (Nra.strategy_to_string s) domains budget_name m)
+            | Ok rel ->
+                let got = Ref.relation_csv rel in
+                if got <> expect then
+                  Alcotest.fail
+                    (Printf.sprintf
+                       "%s: %s disagrees with the reference (domains=%d, \
+                        frames=%s)\nreference:\n%s\ngot:\n%s"
+                       sql (Nra.strategy_to_string s) domains budget_name
+                       expect got))
+          Test_support.all_strategies)
+      cases
+  in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter
+        (fun domains ->
+          List.iter (fun budget -> run_config ~domains budget) ja_budgets)
+        ja_domains)
+
+let test_ja_singleton_identities () =
+  (* an aggregate subquery always returns exactly one row, so the
+     linking operators collapse: IN ≡ (=), θ ANY ≡ θ ALL ≡ θ scalar,
+     and [0 IN (COUNT ...)] ≡ NOT EXISTS *)
+  for _ = 1 to rounds do
+    let cat = fresh_db () in
+    let agg =
+      [| "count(*)"; "count(u2.a)"; "sum(u2.a)"; "avg(u2.a)"; "min(u2.a)";
+         "max(u2.a)" |].(Tpch.Prng.int rng 6)
+    in
+    let cmp = [| "="; "<>"; "<"; "<="; ">"; ">=" |].(Tpch.Prng.int rng 6) in
+    let sub = Printf.sprintf "(select %s from u u2 where u2.b = t.b)" agg in
+    let any = card cat (Printf.sprintf "select id from t where a %s any %s" cmp sub) in
+    let all = card cat (Printf.sprintf "select id from t where a %s all %s" cmp sub) in
+    let scl = card cat (Printf.sprintf "select id from t where a %s %s" cmp sub) in
+    Alcotest.(check int) (sub ^ ": ANY = ALL over a singleton") any all;
+    Alcotest.(check int) (sub ^ ": ALL = scalar over a singleton") all scl;
+    let in_eq = card cat (Printf.sprintf "select id from t where a in %s" sub) in
+    let eq = card cat (Printf.sprintf "select id from t where a = %s" sub) in
+    Alcotest.(check int) (sub ^ ": IN = (=) over a singleton") in_eq eq;
+    let via_count =
+      card cat
+        "select id from t where 0 in (select count(*) from u u2 where u2.a \
+         = t.a)"
+    in
+    let via_not_exists =
+      card cat
+        "select id from t where not exists (select * from u u2 where u2.a \
+         = t.a)"
+    in
+    Alcotest.(check int) "COUNT(*) = 0 is NOT EXISTS" via_count via_not_exists
+  done
+
 let () =
   Alcotest.run "metamorphic"
     [
@@ -198,5 +382,12 @@ let () =
           Alcotest.test_case "IN vs EXISTS" `Quick test_in_vs_exists;
           Alcotest.test_case "delete complements select" `Quick
             test_delete_is_complement;
+          Alcotest.test_case "JA singleton collapse" `Quick
+            test_ja_singleton_identities;
+        ] );
+      ( "ja differential",
+        [
+          Alcotest.test_case "all strategies match the naive reference"
+            `Quick test_ja_differential;
         ] );
     ]

@@ -166,6 +166,27 @@ let test_plan_description () =
         (contains text "nested relational pipeline")
   | Error m -> Alcotest.fail m
 
+let test_ja_plan_description () =
+  let ja_sql =
+    "select ename from emp where salary in (select max(budget) from dept \
+     where dept.dept_id = emp.dept_id)"
+  in
+  let cat = emp_dept_catalog () in
+  let t = analyze cat ja_sql in
+  let plan = N.plan_description t in
+  Alcotest.(check bool) "aggregate value set rendered" true
+    (contains plan "{max(…)}");
+  (* a JA site is never positive: the §4.2.5 semijoin shortcut must not
+     be reported even under the full options *)
+  let plan_full = N.plan_description ~options:N.full t in
+  Alcotest.(check bool) "no semijoin shortcut on a JA link" false
+    (contains plan_full "§4.2.5");
+  match Nra.explain cat ja_sql with
+  | Ok text ->
+      Alcotest.(check bool) "explain shows the aggregate" true
+        (contains text "agg: max")
+  | Error m -> Alcotest.fail m
+
 let () =
   Alcotest.run "nra_options"
     [
@@ -186,5 +207,7 @@ let () =
           Alcotest.test_case "nest cost recorded" `Quick
             test_nest_cost_recorded;
           Alcotest.test_case "plan description" `Quick test_plan_description;
+          Alcotest.test_case "JA plan description" `Quick
+            test_ja_plan_description;
         ] );
     ]

@@ -147,6 +147,112 @@ let test_null_confined_to_group () =
   in
   check_rows "only rid 2 qualifies" [ [ Some 2 ] ] rel
 
+(* ---------- type JA: aggregates under the linking operators ----------
+
+   The aggregate subquery always produces exactly one value, and the
+   empty group produces it too: COUNT → 0, SUM/AVG/MIN/MAX → NULL.  So
+   unlike plain subqueries the group must never be discarded before the
+   linking selection, and every comparison against the NULL aggregate
+   result is Unknown under 3VL.
+
+   Fixture: rr(rid, k, a) correlates through k into ss(rref, b).
+     rid 1: k=1, a=5 — group b = {2, 3}
+     rid 2: k=2, a=7 — empty group
+     rid 3: k=3, a=5 — group b = {NULL}
+     rid 4: k=NULL  — empty group (NULL joins nothing)
+   ss additionally has a NULL-rref row that belongs to no group. *)
+let cat_ja () =
+  let cat = Catalog.create () in
+  Catalog.register cat
+    (Table.create ~name:"rr" ~key:[ "rid" ]
+       [
+         Schema.column "rid" Ttype.Int;
+         Schema.column "k" Ttype.Int;
+         Schema.column "a" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vi 1; vi 5 |];
+         [| vi 2; vi 2; vi 7 |];
+         [| vi 3; vi 3; vi 5 |];
+         [| vi 4; vnull; vi 5 |];
+       |]);
+  Catalog.register cat
+    (Table.create ~name:"ss" ~key:[ "sid" ]
+       [
+         Schema.column "sid" Ttype.Int;
+         Schema.column "rref" Ttype.Int;
+         Schema.column "b" Ttype.Int;
+       ]
+       [|
+         [| vi 1; vi 1; vi 2 |];
+         [| vi 2; vi 1; vi 3 |];
+         [| vi 3; vi 3; vnull |];
+         [| vi 4; vnull; vi 9 |];
+       |]);
+  cat
+
+let ja_expect cat (sql, expected) =
+  let rel = check_equivalent cat sql in
+  Alcotest.(check (list int))
+    sql expected
+    (List.map
+       (fun row -> match row.(0) with
+          | Value.Int i -> i
+          | v -> Alcotest.fail ("expected int rid, got " ^ Value.to_string v))
+       (Relation.sorted_rows rel))
+
+let test_ja_empty_group_aggregates () =
+  let cat = cat_ja () in
+  List.iter (ja_expect cat)
+    [
+      (* COUNT of an empty group is 0, not a missing row: rid 2 and the
+         NULL-key rid 4 must surface *)
+      ( "select rid from rr where 0 in (select count(*) from ss where \
+         ss.rref = rr.k)",
+        [ 2; 4 ] );
+      (* COUNT(b) also skips the NULL payload: group {NULL} counts 0 *)
+      ( "select rid from rr where 0 in (select count(b) from ss where \
+         ss.rref = rr.k)",
+        [ 2; 3; 4 ] );
+      (* SUM of the empty group is NULL, so = is Unknown there *)
+      ( "select rid from rr where a = (select sum(b) from ss where ss.rref \
+         = rr.k)",
+        [ 1 ] );
+      (* θ ALL over the aggregate singleton {NULL} is Unknown — unlike
+         θ ALL over the empty plain set, which is vacuously True *)
+      ( "select rid from rr where a >= all (select sum(b) from ss where \
+         ss.rref = rr.k)",
+        [ 1 ] );
+      ( "select rid from rr where a >= all (select b from ss where ss.rref \
+         = rr.k)",
+        [ 1; 2; 4 ] );
+    ]
+
+let test_ja_null_aggregate_result () =
+  let cat = cat_ja () in
+  List.iter (ja_expect cat)
+    [
+      (* every comparison form against a NULL aggregate is Unknown:
+         rid 2 (empty), rid 3 (all-NULL group) and rid 4 (NULL key) all
+         drop; only rid 1's real max of 3 decides *)
+      ( "select rid from rr where a <> (select max(b) from ss where \
+         ss.rref = rr.k)",
+        [ 1 ] );
+      ( "select rid from rr where a not in (select max(b) from ss where \
+         ss.rref = rr.k)",
+        [ 1 ] );
+      ( "select rid from rr where a in (select min(b) from ss where \
+         ss.rref = rr.k)",
+        [] );
+      ( "select rid from rr where a > all (select avg(b) from ss where \
+         ss.rref = rr.k)",
+        [ 1 ] );
+      (* NULL linking attribute against a real aggregate is Unknown too *)
+      ( "select rid from rr where k in (select count(*) from ss where \
+         ss.rref = rr.k)",
+        [] );
+    ]
+
 let test_classical_constraint_sensitivity () =
   (* the classical executor may antijoin exactly when both sides are
      declared NOT NULL (paper: the NOT NULL constraint on
@@ -209,6 +315,13 @@ let () =
             test_exists_on_all_null_row;
           Alcotest.test_case "NULL confined to its group" `Quick
             test_null_confined_to_group;
+        ] );
+      ( "type JA",
+        [
+          Alcotest.test_case "empty-group aggregates" `Quick
+            test_ja_empty_group_aggregates;
+          Alcotest.test_case "NULL aggregate results" `Quick
+            test_ja_null_aggregate_result;
         ] );
       ( "classical constraints",
         [

@@ -286,6 +286,45 @@ let test_cache_invalidation_on_dml_and_analyze () =
   Alcotest.(check int) "only the query is cached" 1
     (cache_stats srv).Plan_cache.entries
 
+let test_cache_ja_shape_keyed_and_replanned () =
+  let srv = server () in
+  let s = Server.session srv () in
+  (* a type-JA statement and its non-aggregate lookalike: normalization
+     collapses whitespace and case, but the shape fingerprint must keep
+     their slots apart *)
+  let ja =
+    "select ename from emp where salary in (select max(budget) from dept \
+     where dept.dept_id = emp.dept_id)"
+  in
+  let lookalike =
+    "select ename from emp where salary in (select budget from dept where \
+     dept.dept_id = emp.dept_id)"
+  in
+  Alcotest.(check bool) "shapes differ" true
+    (Nra.query_shape ja <> Nra.query_shape lookalike);
+  (* no current salary equals its department's max budget, and the
+     NULL-budget / NULL-dept groups are Unknown *)
+  Alcotest.(check int) "JA cold" 0 (ok_rows (Server.exec srv s ja));
+  Alcotest.(check int) "JA warm" 0 (ok_rows (Server.exec srv s ja));
+  ignore (ok_rows (Server.exec srv s lookalike));
+  let c = cache_stats srv in
+  Alcotest.(check int) "two slots, two misses" 2 c.Plan_cache.misses;
+  Alcotest.(check int) "hit only on the same shape" 1 c.Plan_cache.hits;
+  Alcotest.(check int) "both cached" 2 c.Plan_cache.entries;
+  (* DML bumps the generation: the cached JA plan is invalidated, and
+     the re-planned run must see the new row (gil earns exactly the max
+     budget of dept 1) *)
+  (match
+     Server.exec srv s "insert into emp values (7, 'gil', 1, 100, null)"
+   with
+  | Ok (Nra.Count 1) -> ()
+  | Ok _ -> Alcotest.fail "expected one inserted row"
+  | Error e -> Alcotest.fail (Exec_error.to_string e));
+  Alcotest.(check int) "re-planned JA sees the insert" 1
+    (ok_rows (Server.exec srv s ja));
+  Alcotest.(check int) "invalidated by DML" 1
+    (cache_stats srv).Plan_cache.invalidations
+
 let test_cache_lru_eviction () =
   let cat = Test_support.emp_dept_catalog () in
   let pc = Plan_cache.create ~capacity:2 cat in
@@ -375,6 +414,8 @@ let () =
             test_cache_strategy_keyed;
           Alcotest.test_case "DML and ANALYZE invalidate" `Quick
             test_cache_invalidation_on_dml_and_analyze;
+          Alcotest.test_case "JA shape keyed and re-planned" `Quick
+            test_cache_ja_shape_keyed_and_replanned;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "normalization" `Quick test_normalize;
         ] );
