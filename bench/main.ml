@@ -32,12 +32,13 @@ let run_full = ref false
 let run_domains_sweep = ref false
 let run_outofcore_sweep = ref false
 let run_rewrite_sweep = ref false
+let run_columnar_sweep = ref false
 
 let usage () =
   prerr_endline
     "usage: main.exe [--figure N]... [--scale S] [--full] [--no-micro] \
      [--no-ablation] [--domains-sweep] [--outofcore-sweep] \
-     [--rewrite-sweep]";
+     [--rewrite-sweep] [--columnar-sweep]";
   exit 2
 
 let () =
@@ -70,6 +71,9 @@ let () =
         parse rest
     | "--rewrite-sweep" :: rest ->
         run_rewrite_sweep := true;
+        parse rest
+    | "--columnar-sweep" :: rest ->
+        run_columnar_sweep := true;
         parse rest
     | _ -> usage ()
   in
@@ -600,6 +604,33 @@ let micro () =
       | _ -> Printf.printf "  %-34s (no estimate)\n" name)
     (List.sort compare names)
 
+(* ---------- BENCH_parallel.json ----------
+
+   Two sweeps share the file: the domains sweep (parallel-kernel
+   speedup curve) and the columnar sweep (row vs columnar kernel
+   timings at domains=0).  Each records its section; whichever sweeps
+   ran are emitted together. *)
+
+let domains_section : string option ref = ref None
+let columnar_section : string option ref = ref None
+
+let write_bench_parallel () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"scale\": %g,\n  \"host_cores\": %d" !scale
+       (Domain.recommended_domain_count ()));
+  (match !domains_section with
+  | Some s -> Buffer.add_string buf (",\n  \"domains_sweep\": " ^ s)
+  | None -> ());
+  (match !columnar_section with
+  | Some s -> Buffer.add_string buf (",\n  \"columnar_sweep\": " ^ s)
+  | None -> ());
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
+
 (* ---------- domains sweep ----------
 
    The three parallel kernels (partitioned hash join, parallel nest,
@@ -682,13 +713,11 @@ let domains_sweep () =
   let bj, bn, bf = base b0 in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf
-       "{\n  \"scale\": %g,\n  \"host_cores\": %d,\n  \"note\": \"speedup \
-        = serial_best_of_3 / best_of_3; wall-clock speedup is bounded by \
-        host_cores regardless of the domain count; identity is structural \
-        equality against the domains=0 result\",\n  \"points\": [\n"
-       !scale
-       (Domain.recommended_domain_count ()));
+    "{\n\
+    \    \"note\": \"speedup = serial_best_of_3 / best_of_3; wall-clock \
+     speedup is bounded by host_cores regardless of the domain count; \
+     identity is structural equality against the domains=0 result\",\n\
+    \    \"points\": [\n";
   List.iteri
     (fun i (d, tj, tn, tf, identical) ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -699,11 +728,142 @@ let domains_sweep () =
             %.3f, \"filter_speedup\": %.3f, \"identical\": %b}"
            d tj tn tf (bj /. tj) (bn /. tn) (bf /. tf) identical))
     points;
-  Buffer.add_string buf "\n  ]\n}\n";
-  let oc = open_out "BENCH_parallel.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "wrote BENCH_parallel.json\n"
+  Buffer.add_string buf "\n    ]\n  }";
+  domains_section := Some (Buffer.contents buf)
+
+(* ---------- columnar sweep ----------
+
+   Row-at-a-time vs columnar timings for the four kernel shapes, at
+   domains=0 — an honest single-core comparison, no parallel speedup
+   mixed in.  Per kernel: disable the columnar core and take the best
+   of five runs, then enable it (priming the base-relation batches the
+   way Exec.Frame does at scan time) and repeat; the two results must
+   be structurally identical.  The probe-heavy join direction (big
+   lineitem probing a small orders build) is where the hash-vector
+   probe win shows; every kernel input is a scan-primed base relation,
+   the only place the hash-vector paths engage (intermediates hash
+   inline either way — see Join.key_vectors). *)
+
+let columnar_sweep () =
+  let open Nra in
+  header "Columnar sweep"
+    "row vs columnar kernels at domains=0 (structural identity checked)";
+  Pool.set_size 0;
+  let lineitem = Table.relation (Catalog.table cat "lineitem") in
+  let orders = Table.relation (Catalog.table cat "orders") in
+  let li_schema = Relation.schema lineitem in
+  let o_schema = Relation.schema orders in
+  let okey = Schema.find o_schema ~table:"orders" "o_orderkey" in
+  let lkey = Schema.find li_schema ~table:"lineitem" "l_orderkey" in
+  let o_arity = Schema.arity o_schema in
+  let li_arity = Schema.arity li_schema in
+  let join_build_on =
+    Expr.Cmp (Three_valued.Eq, Expr.Col okey, Expr.Col (o_arity + lkey))
+  in
+  let join_probe_on =
+    Expr.Cmp (Three_valued.Eq, Expr.Col lkey, Expr.Col (li_arity + okey))
+  in
+  let filter_on =
+    Expr.Cmp (Three_valued.Gt, Expr.Col lkey, Expr.Const (Value.Int 100))
+  in
+  (* nest over a primed base relation: the key-hash vectors only engage
+     for scan-primed inputs (intermediates hash inline either way, so
+     timing them would compare identical code) *)
+  let by = [| lkey |] in
+  let keep = [| lkey; lkey |] in
+  let kernels =
+    [
+      ( "filter_morsel",
+        fun () -> `R (Algebra.Basic.select filter_on lineitem) );
+      ( "join_build_heavy",
+        fun () ->
+          `R (Algebra.Join.join Algebra.Join.Inner ~on:join_build_on orders
+                lineitem) );
+      (* Anti (the NOT EXISTS shape): the probe pass IS the work — no
+         output rows get built, so the timing isolates hash + bucket
+         scan instead of drowning it in Row.concat allocation *)
+      ( "join_probe_heavy",
+        fun () ->
+          `R (Algebra.Join.join Algebra.Join.Anti ~on:join_probe_on
+                lineitem orders) );
+      ( "nest_hash",
+        fun () -> `N (Nested.Grouped.nest_hash ~by ~keep lineitem) );
+    ]
+  in
+  let same a b =
+    match (a, b) with
+    | `R x, `R y -> Relation.rows x = Relation.rows y
+    | `N x, `N y -> x.Nested.Grouped.groups = y.Nested.Grouped.groups
+    | _ -> false
+  in
+  (* the two legs are interleaved rep by rep, each preceded by an
+     untimed warm run and a full major GC: heap drift over a long
+     process hits both legs equally instead of whichever leg happened
+     to run later *)
+  let timed f =
+    ignore (f ());
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  Printf.printf "%-18s | %10s %11s %8s | identical\n" "kernel" "row(s)"
+    "columnar(s)" "speedup";
+  let points =
+    List.map
+      (fun (name, run) ->
+        let best_row = ref infinity and best_col = ref infinity in
+        let row_res = ref None and col_res = ref None in
+        for _ = 1 to 5 do
+          Batch.set_enabled false;
+          let dt, r = timed run in
+          if dt < !best_row then best_row := dt;
+          row_res := Some r;
+          Batch.set_enabled true;
+          Batch.prime lineitem;
+          Batch.prime orders;
+          (* the warm run inside [timed] also re-forces the lazy
+             columns the toggle flush dropped, so the timed run sees
+             the scan-primed steady state *)
+          let dt, r = timed run in
+          if dt < !best_col then best_col := dt;
+          col_res := Some r
+        done;
+        let trow = !best_row and tcol = !best_col in
+        let identical =
+          match (!row_res, !col_res) with
+          | Some a, Some b -> same a b
+          | _ -> false
+        in
+        Printf.printf "%-18s | %10.4f %11.4f %8.2f | %b\n%!" name trow tcol
+          (trow /. tcol) identical;
+        (name, trow, tcol, identical))
+      kernels
+  in
+  Batch.set_enabled true;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "{\n\
+    \    \"note\": \"row_s = NRA_COLUMNAR off, columnar_s = on with \
+     base-relation batches primed, both best-of-5 at domains=0; speedup = \
+     row_s / columnar_s; identity is structural equality of the two \
+     results\",\n\
+    \    \"kernels\": [\n";
+  List.iteri
+    (fun i (name, trow, tcol, identical) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"kernel\": %s, \"row_s\": %.6f, \"columnar_s\": %.6f, \
+            \"speedup\": %.3f, \"identical\": %b}"
+           (json_string name) trow tcol (trow /. tcol) identical))
+    points;
+  Buffer.add_string buf "\n    ]\n  }";
+  columnar_section := Some (Buffer.contents buf);
+  if List.exists (fun (_, _, _, ok) -> not ok) points then begin
+    prerr_endline "columnar sweep: result divergence";
+    exit 1
+  end
 
 (* ---------- out-of-core sweep ----------
 
@@ -891,8 +1051,10 @@ let rewrite_sweep () =
 (* ---------- main ---------- *)
 
 let () =
-  if !run_domains_sweep then begin
-    domains_sweep ();
+  if !run_domains_sweep || !run_columnar_sweep then begin
+    if !run_domains_sweep then domains_sweep ();
+    if !run_columnar_sweep then columnar_sweep ();
+    write_bench_parallel ();
     exit 0
   end;
   if !run_outofcore_sweep then begin

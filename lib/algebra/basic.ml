@@ -4,23 +4,62 @@ module Pool = Nra_pool.Pool
 (* Scan+filter is the third parallel kernel (after hash join and nest):
    Exec.Frame funnels every block's local predicates through here.
    Morsels keep their relative order, so the output row order is the
-   serial one. *)
+   serial one.
+
+   When the columnar core is on and the predicate compiles to the
+   vectorizable subset, each morsel evaluates typed column loops and
+   returns a selection vector; the owner splices the vectors in chunk
+   order and gathers the original rows.  Otherwise morsels fall back
+   to [Expr.holds] row-at-a-time.  Both paths emit the same physical
+   rows in the same order. *)
+
+(* Filter a morsel row-at-a-time into a row array (no list rebuild on
+   the owner: each morsel packs its survivors once, backwards). *)
+let filter_morsel pred rows ~lo ~hi =
+  let acc = ref [] and cnt = ref 0 in
+  for i = lo to hi - 1 do
+    if Expr.holds pred rows.(i) then begin
+      acc := rows.(i) :: !acc;
+      incr cnt
+    end
+  done;
+  if !cnt = 0 then [||]
+  else begin
+    let out = Array.make !cnt rows.(lo) in
+    let rec fill i = function
+      | [] -> ()
+      | r :: tl ->
+          out.(i) <- r;
+          fill (i - 1) tl
+    in
+    fill (!cnt - 1) !acc;
+    out
+  end
+
 let select pred rel =
   let rows = Relation.rows rel in
-  if not (Pool.use_parallel (Array.length rows)) then
-    Relation.filter (Expr.holds pred) rel
-  else begin
-    let morsels =
-      Pool.parallel_chunks ~n:(Array.length rows) (fun _ledger ~lo ~hi ->
-          let acc = ref [] in
-          for i = lo to hi - 1 do
-            if Expr.holds pred rows.(i) then acc := rows.(i) :: !acc
-          done;
-          List.rev !acc)
-    in
-    Relation.of_rows (Relation.schema rel)
-      (List.concat (Array.to_list morsels))
-  end
+  let n = Array.length rows in
+  match Batch.filter_plan pred rel with
+  | Some plan ->
+      let gather sel = Array.map (fun i -> Array.unsafe_get rows i) sel in
+      let picked =
+        if not (Pool.use_parallel n) then gather (plan ~lo:0 ~hi:n)
+        else
+          Array.concat
+            (Array.to_list
+               (Pool.parallel_chunks ~n (fun _ledger ~lo ~hi ->
+                    gather (plan ~lo ~hi))))
+      in
+      Relation.make (Relation.schema rel) picked
+  | None ->
+      if not (Pool.use_parallel n) then
+        Relation.filter (Expr.holds pred) rel
+      else
+        Relation.make (Relation.schema rel)
+          (Array.concat
+             (Array.to_list
+                (Pool.parallel_chunks ~n (fun _ledger ~lo ~hi ->
+                     filter_morsel pred rows ~lo ~hi))))
 
 let project_cols idxs rel = Relation.project rel idxs
 
@@ -31,15 +70,23 @@ let project_exprs items rel =
     (fun row -> Array.map (Expr.eval_scalar row) exprs)
     rel
 
+(* The output cardinality is known exactly, so fill a pre-sized array
+   instead of reversing an accumulated list. *)
 let product left right =
   let schema = Schema.append (Relation.schema left) (Relation.schema right) in
-  let right_rows = Relation.rows right in
-  let out = ref [] in
-  Array.iter
-    (fun l ->
-      Array.iter (fun r -> out := Row.concat l r :: !out) right_rows)
-    (Relation.rows left);
-  Relation.of_rows schema (List.rev !out)
+  let lrows = Relation.rows left and rrows = Relation.rows right in
+  let nl = Array.length lrows and nr = Array.length rrows in
+  if nl = 0 || nr = 0 then Relation.make schema [||]
+  else begin
+    let out = Array.make (nl * nr) [||] in
+    for i = 0 to nl - 1 do
+      let l = lrows.(i) and base = i * nr in
+      for j = 0 to nr - 1 do
+        out.(base + j) <- Row.concat l rrows.(j)
+      done
+    done;
+    Relation.make schema out
+  end
 
 let distinct rel = Relation.dedup rel
 

@@ -72,33 +72,67 @@ let nested_loop kind ~on left right =
 
 (* ---------- hash join ---------- *)
 
-(* The shared probe step: the same expression in the serial and
-   parallel paths, so their match lists are identical by construction. *)
-let probe_one tbl ~lpos ~rpos ~residual_pred lrow =
-  if Row.has_null_on lpos lrow then []
-  else
-    Hashtbl.find_all tbl (Row.hash_on lpos lrow)
-    |> List.rev (* restore build order *)
-    |> List.filter (fun rrow ->
-           Array.for_all2
-             (fun li ri -> Value.equal lrow.(li) rrow.(ri))
-             lpos rpos
-           && Expr.holds residual_pred (Row.concat lrow rrow))
+(* Key-hash vectors: per-row [Row.hash_on] plus a has-null-key bitmap,
+   computed column-at-a-time over unboxed cells when the columnar core
+   is on ([Batch.hash_on] produces bit-identical hashes, so partition
+   assignment, build order and probe results are unchanged).  [None]
+   falls back to hashing boxed rows inline, exactly the pre-columnar
+   code.  Vectors are computed owner-side; workers only index into the
+   resulting plain arrays. *)
+(* Only a *cached* batch (primed at scan time for a base relation)
+   qualifies: for an unprimed intermediate, building a transient batch
+   of the key columns just to hash them costs more than hashing the
+   boxed rows inline, so those sides keep the row path. *)
+let key_vectors rel idxs =
+  if Batch.enabled () && not (Relation.is_empty rel) then
+    match Batch.find rel with
+    | Some b -> Some (Batch.hash_on b idxs)
+    | None -> None
+  else None
 
-let join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
-    right_rows =
+let vec_null vecs idxs row i =
+  match vecs with
+  | Some (_, nulls) -> Batch.Bitset.get nulls i
+  | None -> Row.has_null_on idxs row
+
+let vec_hash vecs idxs row i =
+  match vecs with
+  | Some (h, _) -> Array.unsafe_get h i
+  | None -> Row.hash_on idxs row
+
+(* The shared probe step: the same expression in the serial and
+   parallel paths, so their match lists are identical by construction.
+   The key hash is the caller's — precomputed columnar vector entry or
+   an inline [Row.hash_on]. *)
+let probe_one tbl ~h ~lpos ~rpos ~residual_pred lrow =
+  Hashtbl.find_all tbl h
+  |> List.rev (* restore build order *)
+  |> List.filter (fun rrow ->
+         Array.for_all2
+           (fun li ri -> Value.equal lrow.(li) rrow.(ri))
+           lpos rpos
+         && Expr.holds residual_pred (Row.concat lrow rrow))
+
+let join_serial kind ~lpos ~rpos ~residual_pred ~right_arity ~lvecs ~rvecs
+    left_rows right_rows =
   let tbl = Hashtbl.create (max 16 (Array.length right_rows)) in
-  Array.iter
-    (fun rrow ->
-      if not (Row.has_null_on rpos rrow) then
-        Hashtbl.add tbl (Row.hash_on rpos rrow) rrow)
+  Array.iteri
+    (fun i rrow ->
+      if not (vec_null rvecs rpos rrow i) then
+        Hashtbl.add tbl (vec_hash rvecs rpos rrow i) rrow)
     right_rows;
   let acc = ref [] in
-  Array.iter
-    (fun lrow ->
+  Array.iteri
+    (fun i lrow ->
       Nra_guard.Guard.tick ();
       incr stats_probes;
-      let matches = probe_one tbl ~lpos ~rpos ~residual_pred lrow in
+      let matches =
+        if vec_null lvecs lpos lrow i then []
+        else
+          probe_one tbl
+            ~h:(vec_hash lvecs lpos lrow i)
+            ~lpos ~rpos ~residual_pred lrow
+      in
       acc := emit kind ~right_arity lrow matches !acc)
     left_rows;
   List.rev !acc
@@ -111,16 +145,16 @@ let join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
    bit-identical to [join_serial].  Workers run only pure row/predicate
    code; checkpoints accrue to the morsel's ledger and are charged at
    the barrier (the guard contract in docs/PERF.md). *)
-let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
-    right_rows =
+let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity ~lvecs ~rvecs
+    left_rows right_rows =
   let nparts = Pool.executors () in
   let nright = Array.length right_rows in
   let rhash = Array.make nright 0 in
   let parts = Array.make nparts [] in
   (* reverse iteration so each partition's index list is in build order *)
   for i = nright - 1 downto 0 do
-    if not (Row.has_null_on rpos right_rows.(i)) then begin
-      let h = Row.hash_on rpos right_rows.(i) in
+    if not (vec_null rvecs rpos right_rows.(i) i) then begin
+      let h = vec_hash rvecs rpos right_rows.(i) i in
       rhash.(i) <- h;
       let p = h land max_int mod nparts in
       parts.(p) <- i :: parts.(p)
@@ -143,12 +177,12 @@ let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
           let lrow = left_rows.(i) in
           Pool.Ledger.tick ledger;
           let matches =
-            if Row.has_null_on lpos lrow then []
+            if vec_null lvecs lpos lrow i then []
             else
-              let h = Row.hash_on lpos lrow in
+              let h = vec_hash lvecs lpos lrow i in
               probe_one
                 tables.(h land max_int mod nparts)
-                ~lpos ~rpos ~residual_pred lrow
+                ~h ~lpos ~rpos ~residual_pred lrow
           in
           acc := emit kind ~right_arity lrow matches !acc
         done;
@@ -173,8 +207,8 @@ let join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
    [find_all h] would return.  Left matches are collected into a
    per-row array indexed by the original position (spilled left rows
    carry their index) and emitted in one ordered pass at the end. *)
-let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
-    right_rows =
+let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames ~lvecs
+    ~rvecs left_rows right_rows =
   let module B = Nra_storage.Bufpool in
   let build_pages = Nra_storage.Iosim.pages (Array.length right_rows) in
   let budget = max 1 (frames - 1) in
@@ -192,11 +226,11 @@ let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
   in
   Fun.protect ~finally:free_all @@ fun () ->
   (* build pass: partition the right side *)
-  Array.iter
-    (fun rrow ->
+  Array.iteri
+    (fun i rrow ->
       Nra_guard.Guard.tick ();
-      if not (Row.has_null_on rpos rrow) then begin
-        let h = Row.hash_on rpos rrow in
+      if not (vec_null rvecs rpos rrow i) then begin
+        let h = vec_hash rvecs rpos rrow i in
         let p = h land max_int mod nparts in
         if p = 0 then Hashtbl.add tbl0 h rrow
         else B.Spill.add rspills.(p - 1) rrow
@@ -210,11 +244,11 @@ let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
   Array.iteri
     (fun i lrow ->
       Nra_guard.Guard.tick ();
-      if not (Row.has_null_on lpos lrow) then begin
-        let h = Row.hash_on lpos lrow in
+      if not (vec_null lvecs lpos lrow i) then begin
+        let h = vec_hash lvecs lpos lrow i in
         let p = h land max_int mod nparts in
         if p = 0 then
-          matches.(i) <- probe_one tbl0 ~lpos ~rpos ~residual_pred lrow
+          matches.(i) <- probe_one tbl0 ~h ~lpos ~rpos ~residual_pred lrow
         else B.Spill.add lspills.(p - 1) (Array.append [| Value.Int i |] lrow)
       end)
     left_rows;
@@ -244,7 +278,9 @@ let join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames left_rows
                    match packed.(0) with Value.Int i -> i | _ -> assert false
                  in
                  let lrow = Array.sub packed 1 (Array.length packed - 1) in
-                 matches.(i) <- probe_one tbl ~lpos ~rpos ~residual_pred lrow);
+                 matches.(i) <-
+                   probe_one tbl ~h:(Row.hash_on lpos lrow) ~lpos ~rpos
+                     ~residual_pred lrow);
              Pool.Ledger.consumed_spill ledger rsp;
              Pool.Ledger.consumed_spill ledger lspills.(k)
            done));
@@ -266,6 +302,7 @@ let join kind ~on left right =
     let right_rows = Relation.rows right in
     let right_arity = Schema.arity (Relation.schema right) in
     let residual_pred = Expr.conj residual in
+    let lvecs = key_vectors left lpos and rvecs = key_vectors right rpos in
     let spill =
       match Nra_storage.Bufpool.frames () with
       | Some f when Nra_storage.Iosim.pages (Array.length right_rows) > f ->
@@ -279,17 +316,17 @@ let join kind ~on left right =
              the Domain pool itself (iter_raw workers + owner-side
              ledger replay), so out-of-core and parallel compose *)
           join_grace kind ~lpos ~rpos ~residual_pred ~right_arity ~frames
-            left_rows right_rows
+            ~lvecs ~rvecs left_rows right_rows
       | None ->
           if
             Pool.use_parallel
               (max (Array.length left_rows) (Array.length right_rows))
           then
-            join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity
-              left_rows right_rows
+            join_parallel kind ~lpos ~rpos ~residual_pred ~right_arity ~lvecs
+              ~rvecs left_rows right_rows
           else
-            join_serial kind ~lpos ~rpos ~residual_pred ~right_arity left_rows
-              right_rows
+            join_serial kind ~lpos ~rpos ~residual_pred ~right_arity ~lvecs
+              ~rvecs left_rows right_rows
     in
     Relation.of_rows (out_schema kind left right) rows
   end

@@ -5,6 +5,7 @@ module Schema = Nra_relational.Schema
 module Row = Nra_relational.Row
 module Relation = Nra_relational.Relation
 module Expr = Nra_relational.Expr
+module Batch = Nra_relational.Batch
 
 module Table = Nra_storage.Table
 module Catalog = Nra_storage.Catalog
@@ -175,6 +176,8 @@ let of_cost_strategy = function
 let rewrite_rules = Nra_opt.Config.rules
 let set_rewrite_rules = Nra_opt.Config.set
 let set_rewrite_spec = Nra_opt.Config.set_spec
+let columnar_enabled = Nra_relational.Batch.enabled
+let set_columnar = Nra_relational.Batch.set_enabled
 let rewrite_epoch = Nra_opt.Config.current_epoch
 let rewrite_signature = Nra_opt.Config.signature
 

@@ -26,6 +26,11 @@ module Row = Nra_relational.Row
 module Relation = Nra_relational.Relation
 module Expr = Nra_relational.Expr
 
+module Batch = Nra_relational.Batch
+(** Columnar batches: typed unboxed columns + null bitmaps behind the
+    hot kernels ([--columnar] / [NRA_COLUMNAR], default on) — see
+    docs/PERF.md. *)
+
 module Table = Nra_storage.Table
 module Catalog = Nra_storage.Catalog
 module Hash_index = Nra_storage.Hash_index
@@ -339,6 +344,16 @@ val set_rewrite_rules : Nra_opt.Config.rule list -> unit
 val set_rewrite_spec : string -> (unit, string) result
 (** Parse ["all"], ["none"], or a comma list of rule names, then
     {!set_rewrite_rules}. *)
+
+(** {1 The columnar execution core}
+
+    On by default; [--columnar false] / [NRA_COLUMNAR=0] fall back to
+    row-at-a-time kernels.  Results are byte-identical either way at
+    every pool size and frame budget — the toggle exists so the bench
+    sweep can measure both sides (see docs/PERF.md). *)
+
+val columnar_enabled : unit -> bool
+val set_columnar : bool -> unit
 
 val rewrite_epoch : unit -> int
 val rewrite_signature : unit -> string

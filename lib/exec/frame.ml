@@ -66,6 +66,13 @@ let block_relation ?(charge = true) (b : Analyze.block) =
           ~table:(Table.name bd.Analyze.table)
           (Table.cardinality bd.Analyze.table))
       b.Analyze.bindings;
+  (* columnar batches are built once per base relation, at scan time;
+     the kernels downstream pick them up from the cache (columns fill
+     lazily, on the owning domain, as kernels force them) *)
+  List.iter
+    (fun (bd : Analyze.binding) ->
+      Batch.prime (Table.relation bd.Analyze.table))
+    b.Analyze.bindings;
   let pending = ref b.Analyze.local in
   let take uids =
     let now, later = List.partition (applicable ~uids) !pending in

@@ -59,13 +59,43 @@ let nest_hash_serial ~by ~keep rows =
     rows;
   Array.of_list (List.map snd (finish_groups order))
 
+(* Columnar serial variant: group keys hash column-at-a-time into a
+   precomputed vector ([Batch.hash_on] equals [Row.hash] of the
+   projected key exactly), so the table is keyed by the unboxed hash
+   with a [Row.equal] scan of the (almost always singleton) bucket —
+   same groups, same first-seen order as [nest_hash_serial]. *)
+let nest_hash_serial_vec ~by ~keep rows khash =
+  let tbl : (int, (Row.t * Row.t list ref) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  Array.iteri
+    (fun i row ->
+      let key = Row.project_arr row by in
+      let elem = Row.project_arr row keep in
+      let h = khash.(i) land max_int in
+      match Hashtbl.find_opt tbl h with
+      | Some bucket -> (
+          match List.find_opt (fun (k, _) -> Row.equal k key) !bucket with
+          | Some (_, cell) -> cell := elem :: !cell
+          | None ->
+              let cell = ref [ elem ] in
+              bucket := (key, cell) :: !bucket;
+              order := (i, key, cell) :: !order)
+      | None ->
+          let cell = ref [ elem ] in
+          Hashtbl.add tbl h (ref [ (key, cell) ]);
+          order := (i, key, cell) :: !order)
+    rows;
+  Array.of_list (List.map snd (finish_groups order))
+
 (* Parallel variant: project keys/elems over row morsels, partition row
    indices by key hash — every occurrence of a key lands in one
    partition, in row order — nest the partitions in parallel, then
    sort the union of groups by each group's first-seen row index.
    That index order is exactly the serial first-seen key order, so the
    result is bit-identical to [nest_hash_serial]. *)
-let nest_hash_parallel ~by ~keep rows =
+let nest_hash_parallel ~by ~keep ~khash rows =
   let n = Array.length rows in
   let nparts = Pool.executors () in
   let keys = Array.make n [||] in
@@ -76,9 +106,12 @@ let nest_hash_parallel ~by ~keep rows =
            keys.(i) <- Row.project_arr rows.(i) by;
            elems.(i) <- Row.project_arr rows.(i) keep
          done));
+  let key_hash i =
+    match khash with Some v -> Array.unsafe_get v i | None -> Row.hash keys.(i)
+  in
   let parts = Array.make nparts [] in
   for i = n - 1 downto 0 do
-    let p = Row.hash keys.(i) land max_int mod nparts in
+    let p = key_hash i land max_int mod nparts in
     parts.(p) <- i :: parts.(p)
   done;
   let part_idx = Array.map Array.of_list parts in
@@ -109,7 +142,7 @@ let nest_hash_parallel ~by ~keep rows =
    Bit-identical to [nest_hash_serial] by the same argument as
    [nest_hash_parallel]: every occurrence of a key lands in one
    partition, in row order. *)
-let nest_hash_spill ~by ~keep ~frames rows =
+let nest_hash_spill ~by ~keep ~frames ~khash rows =
   let module B = Nra_storage.Bufpool in
   let n = Array.length rows in
   let budget = max 1 (frames - 1) in
@@ -126,7 +159,10 @@ let nest_hash_spill ~by ~keep ~frames rows =
     (fun i row ->
       let key = Row.project_arr row by in
       let elem = Row.project_arr row keep in
-      let p = Row.hash key land max_int mod nparts in
+      let h =
+        match khash with Some v -> Array.unsafe_get v i | None -> Row.hash key
+      in
+      let p = h land max_int mod nparts in
       if p = 0 then nest_into tbl0 order0 i key elem
       else
         B.Spill.add spills.(p - 1)
@@ -176,17 +212,33 @@ let nest_hash_spill ~by ~keep ~frames rows =
 let nest_hash ~by ~keep rel =
   let key_schema, elem_schema = schemas rel ~by ~keep in
   let rows = Relation.rows rel in
+  (* columnar group-key hashes, computed owner-side; identical values
+     to the row path's [Row.hash], so partition layout, spill page
+     counts and group order are unchanged *)
+  let khash =
+    (* cached batches only (see Join.key_vectors): nesting usually runs
+       over a joined intermediate, where building a transient batch of
+       the group-key columns would cost more than inline row hashing *)
+    if Batch.enabled () && not (Relation.is_empty rel) then
+      match Batch.find rel with
+      | Some b -> Some (fst (Batch.hash_on b by))
+      | None -> None
+    else None
+  in
   let groups =
     match Nra_storage.Bufpool.frames () with
     | Some f when Nra_storage.Iosim.pages (Array.length rows) > f ->
         (* the spill path runs its partitions under the Domain pool
            itself (iter_raw workers + owner-side ledger replay), so
            out-of-core and parallel compose *)
-        nest_hash_spill ~by ~keep ~frames:f rows
+        nest_hash_spill ~by ~keep ~frames:f ~khash rows
     | _ ->
         if Pool.use_parallel (Array.length rows) then
-          nest_hash_parallel ~by ~keep rows
-        else nest_hash_serial ~by ~keep rows
+          nest_hash_parallel ~by ~keep ~khash rows
+        else (
+          match khash with
+          | Some v -> nest_hash_serial_vec ~by ~keep rows v
+          | None -> nest_hash_serial ~by ~keep rows)
   in
   { key_schema; elem_schema; groups }
 

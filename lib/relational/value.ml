@@ -42,13 +42,31 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Ints and floats that compare equal must hash alike ([compare] puts
+   both in one numeric order).  Both constructors therefore route
+   through the same rule on the value's float image: an integral float
+   below 2^53 (where int<->float conversion is exact) hashes as its
+   int, anything else as the float itself.  For ints below 2^53 —
+   every int in practice — this is a direct [Hashtbl.hash i] with no
+   intermediate float boxing. *)
+
+let max_exact_int = 0x20_0000_0000_0000 (* 2^53 *)
+let max_exact_float = 9.007199254740992e15 (* 2^53 *)
+
+let hash_float f =
+  if Float.is_integer f && Float.abs f < max_exact_float then
+    Hashtbl.hash (int_of_float f)
+  else Hashtbl.hash f
+
+let hash_int i =
+  if i > -max_exact_int && i < max_exact_int then Hashtbl.hash i
+  else hash_float (float_of_int i)
+
 let hash = function
   | Null -> 0x9e3779b9
   | Bool b -> if b then 3 else 5
-  | Int i -> Hashtbl.hash (float_of_int i)
-  | Float f ->
-      (* ints and floats that compare equal must hash alike *)
-      Hashtbl.hash f
+  | Int i -> hash_int i
+  | Float f -> hash_float f
   | String s -> Hashtbl.hash s
   | Date d -> 7 * Hashtbl.hash d
 

@@ -27,6 +27,16 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
 
+val hash_int : int -> int
+(** [hash_int i = hash (Int i)] without constructing the value — and,
+    for [|i| < 2^53], without the intermediate float the boxed path
+    used to allocate.  The columnar kernels ({!Batch}) hash unboxed
+    column cells through these. *)
+
+val hash_float : float -> int
+(** [hash_float f = hash (Float f)]; agrees with {!hash_int} on every
+    int/float pair that {!compare} makes equal. *)
+
 (** {1 Three-valued comparison}
 
     [cmp3 a b] is [None] when either side is [Null] (SQL Unknown),

@@ -177,11 +177,23 @@ let drop key =
    lucky partitions become free — misses charged otherwise). *)
 
 module Spill = struct
+  (* A page is stored columnar ([Batch.pack]: typed unboxed columns +
+     null bitmaps, reconstructed exactly on re-read) when the columnar
+     core is enabled at flush time, row-wise otherwise.  Page counts,
+     charges and fault draws are independent of the format — only the
+     in-heap representation of the spilled data changes. *)
+  type page =
+    | Prows of Nra_relational.Row.t array
+    | Packed of Nra_relational.Batch.packed
+
+  let iter_page f = function
+    | Prows rows -> Array.iter f rows
+    | Packed p -> Nra_relational.Batch.packed_iter p f
+
   type t = {
     tag : string;
-    mutable page_data : Nra_relational.Row.t array list;
-        (* newest first until [finish] *)
-    mutable finished : Nra_relational.Row.t array array;
+    mutable page_data : page list; (* newest first until [finish] *)
+    mutable finished : page array;
     mutable buf : Nra_relational.Row.t list;
     mutable buf_len : int;
     mutable n_pages : int;
@@ -208,7 +220,14 @@ module Spill = struct
     if t.buf_len > 0 then begin
       if t.n_pages = 0 then
         st := { !st with spilled_partitions = !st.spilled_partitions + 1 };
-      let page = Array.of_list (List.rev t.buf) in
+      let rows = Array.of_list (List.rev t.buf) in
+      let page =
+        if Nra_relational.Batch.enabled () then
+          match Nra_relational.Batch.pack rows with
+          | Some p -> Packed p
+          | None -> Prows rows
+        else Prows rows
+      in
       t.page_data <- page :: t.page_data;
       t.buf <- [];
       t.buf_len <- 0;
@@ -235,13 +254,13 @@ module Spill = struct
         pin key;
         Fun.protect
           ~finally:(fun () -> unpin key)
-          (fun () -> Array.iter f rows))
+          (fun () -> iter_page f rows))
       t.finished
 
   (* pure data walk for worker domains: no pool residency, no charges,
      no fault draws.  The owner must replay the partition's page reads
      with [account_consumed] at the join barrier. *)
-  let iter_raw t f = Array.iter (fun rows -> Array.iter f rows) t.finished
+  let iter_raw t f = Array.iter (fun page -> iter_page f page) t.finished
 
   let free t =
     for p = 0 to t.n_pages - 1 do

@@ -90,6 +90,83 @@ let test_tpch_identity () =
   let cat = tpch_catalog () in
   check_identical ~faults:true (fun () -> cat) tpch_corpus
 
+(* ---------- the columnar axis ----------
+
+   The batch kernels promise bit-identity with row-at-a-time execution
+   at every pool size and frame budget.  One reference run — columnar
+   off, serial, unbounded memory — and every combination of
+   columnar {off,on} × domains {0,2,4} × frames {8,∞}, faults on, must
+   serialize to the same bytes.  The tpch corpus at 8 frames is the
+   spill leg: grace join and spillable nest run over columnar-packed
+   spill pages there. *)
+
+let with_columnar c f =
+  let prev = Nra.columnar_enabled () in
+  Nra.set_columnar c;
+  Fun.protect ~finally:(fun () -> Nra.set_columnar prev) f
+
+let with_frames fr f =
+  Nra.Bufpool.set_frames fr;
+  Fun.protect ~finally:(fun () -> Nra.Bufpool.set_frames None) f
+
+let check_columnar_matrix mk_cat corpus =
+  List.iter
+    (fun sql ->
+      List.iter
+        (fun strategy ->
+          let reference =
+            with_columnar false (fun () ->
+                with_domains 0 (fun () ->
+                    run_csv ~faults:true (mk_cat ()) sql strategy))
+          in
+          List.iter
+            (fun columnar ->
+              List.iter
+                (fun frames ->
+                  List.iter
+                    (fun d ->
+                      let got =
+                        with_columnar columnar (fun () ->
+                            with_frames frames (fun () ->
+                                with_domains d (fun () ->
+                                    run_csv ~faults:true (mk_cat ()) sql
+                                      strategy)))
+                      in
+                      if got <> reference then
+                        Alcotest.fail
+                          (Printf.sprintf
+                             "columnar=%b frames=%s domains=%d diverges for \
+                              %s on: %s"
+                             columnar
+                             (match frames with
+                             | None -> "inf"
+                             | Some n -> string_of_int n)
+                             d
+                             (Nra.strategy_to_string strategy)
+                             sql))
+                    [ 0; 2; 4 ])
+                [ None; Some 8 ])
+            [ false; true ])
+        all_strategies)
+    corpus
+
+let test_columnar_matrix_emp_dept () =
+  (* a slice of the corpus: one flat filter, one join, one correlated
+     EXISTS, one quantified comparison — the four kernel shapes *)
+  let slice =
+    [
+      List.nth subquery_corpus 0;
+      List.nth subquery_corpus 1;
+      List.nth subquery_corpus 2;
+      List.nth subquery_corpus 8;
+    ]
+  in
+  check_columnar_matrix (fun () -> emp_dept_catalog ()) slice
+
+let test_columnar_matrix_tpch () =
+  let cat = tpch_catalog () in
+  check_columnar_matrix (fun () -> cat) tpch_corpus
+
 (* ---------- the pool primitive itself ---------- *)
 
 let test_chunk_order () =
@@ -206,6 +283,15 @@ let () =
             `Quick test_emp_dept_identity;
           Alcotest.test_case "tpch corpus, all strategies, faults on"
             `Quick test_tpch_identity;
+        ] );
+      ( "columnar",
+        [
+          Alcotest.test_case
+            "emp/dept slice, columnar x domains x frames, faults on" `Quick
+            test_columnar_matrix_emp_dept;
+          Alcotest.test_case
+            "tpch corpus, columnar x domains x frames (spill), faults on"
+            `Quick test_columnar_matrix_tpch;
         ] );
       ( "pool",
         [

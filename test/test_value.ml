@@ -34,7 +34,40 @@ let test_compare_basics () =
 
 let test_hash_consistent_with_equal () =
   Alcotest.(check int) "int/float hash agree" (Value.hash (vi 7))
-    (Value.hash (vf 7.0))
+    (Value.hash (vf 7.0));
+  (* the int fast path (no intermediate float) must keep the invariant
+     hash (Int n) = hash (Float (float_of_int n)) for every n — pin it
+     across the 2^53 exactness boundary where the two paths diverge
+     internally, and for the raw hash_int/hash_float entry points the
+     columnar kernels use *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "hash invariant at %d" n)
+        (Value.hash (vi n))
+        (Value.hash (vf (float_of_int n)));
+      Alcotest.(check int)
+        (Printf.sprintf "hash_int agrees at %d" n)
+        (Value.hash (vi n))
+        (Value.hash_int n))
+    [
+      0;
+      1;
+      -1;
+      42;
+      1_000_000;
+      -1_000_000;
+      0x1F_FFFF_FFFF_FFFF (* 2^53 - 1 *);
+      0x20_0000_0000_0000 (* 2^53 *);
+      0x20_0000_0000_0001 (* 2^53 + 1, inexact conversion *);
+      max_int;
+      min_int;
+    ];
+  Alcotest.(check int) "hash_float agrees" (Value.hash (vf 2.5))
+    (Value.hash_float 2.5);
+  Alcotest.(check int) "non-integral float stays on float path"
+    (Value.hash (vf 0.5))
+    (Value.hash_float 0.5)
 
 let test_cmp3 () =
   Alcotest.(check (option int)) "null lhs" None (Value.cmp3 Value.Null (vi 1));
